@@ -1,0 +1,85 @@
+package sqlbarber
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIRoundTrip builds the sqlbarber and replay binaries and drives the
+// full user journey: generate a workload file, then replay it and verify
+// every recorded cost still reproduces.
+func TestCLIRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	build := func(name, pkg string) string {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+		return bin
+	}
+	gen := build("sqlbarber", "./cmd/sqlbarber")
+	replay := build("replay", "./cmd/replay")
+
+	workloadFile := filepath.Join(dir, "w.sql")
+	cmd := exec.Command(gen,
+		"-dataset", "tpch", "-sf", "0.1", "-seed", "7",
+		"-queries", "30", "-intervals", "3", "-range", "600",
+		"-out", workloadFile)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("sqlbarber: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "wasserstein distance") {
+		t.Fatalf("generation summary missing:\n%s", stderr.String())
+	}
+	data, err := os.ReadFile(workloadFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "-- template=") {
+		t.Fatalf("workload file missing annotations:\n%.200s", data)
+	}
+
+	out, err := exec.Command(replay,
+		"-dataset", "tpch", "-sf", "0.1", "-seed", "7",
+		"-cost", "cardinality", "-in", workloadFile).CombinedOutput()
+	if err != nil {
+		t.Fatalf("replay: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "errors=0") || !strings.Contains(string(out), "cost drift > 1.0%: 0") {
+		t.Fatalf("replay found drift:\n%s", out)
+	}
+}
+
+// TestCLIJSONOutput checks the JSON manifest format end-to-end.
+func TestCLIJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "sqlbarber")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/sqlbarber").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin,
+		"-dataset", "tpch", "-sf", "0.1", "-queries", "12", "-intervals", "3",
+		"-range", "500", "-format", "json").Output()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{`"cost_kind": "cardinality"`, `"queries"`, `"wasserstein_distance"`} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("JSON output missing %s:\n%.300s", want, out)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Command sqlbarber generates a customized, realistic SQL workload from the
+// command line: pick a dataset, a target cost distribution, and template
+// constraints, and receive N SQL queries whose costs match the distribution.
+//
+// Usage:
+//
+//	sqlbarber -dataset tpch -cost cardinality -dist uniform -queries 200
+//	sqlbarber -dataset imdb -cost plancost -dist redset -queries 500 -out workload.sql
+//	sqlbarber -dataset tpch -spec '[{"template_id":1,"num_joins":2,"num_aggregations":1}]'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sqlbarber/internal/core"
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/realworld"
+	"sqlbarber/internal/spec"
+	"sqlbarber/internal/stats"
+	"sqlbarber/internal/workload"
+)
+
+func main() {
+	var (
+		dataset    = flag.String("dataset", "tpch", "dataset: tpch|imdb")
+		sf         = flag.Float64("sf", 0.5, "dataset scale factor")
+		costKind   = flag.String("cost", "cardinality", "cost metric: cardinality|plancost|rows")
+		dist       = flag.String("dist", "uniform", "target distribution: uniform|normal|snowset-card|snowset-cost|redset")
+		queries    = flag.Int("queries", 200, "number of queries to generate")
+		interval   = flag.Int("intervals", 10, "number of cost intervals")
+		rangeHi    = flag.Float64("range", 2500, "top of the target cost range")
+		seed       = flag.Int64("seed", 1, "random seed")
+		specJSON   = flag.String("spec", "", "JSON template specifications (default: Redset-derived workload)")
+		out        = flag.String("out", "", "output file (default: stdout)")
+		format     = flag.String("format", "sql", "output format: sql|json")
+		transcript = flag.String("transcript", "", "write a full LLM prompt/response transcript to this file")
+		llmURL     = flag.String("llm-url", "", "OpenAI-compatible endpoint; when set, a hosted model replaces the built-in simulated LLM")
+		llmModel   = flag.String("llm-model", "o3-mini", "chat model name for -llm-url")
+		verbose    = flag.Bool("v", false, "print pipeline progress")
+	)
+	flag.Parse()
+
+	var db *engine.DB
+	switch strings.ToLower(*dataset) {
+	case "tpch":
+		db = engine.OpenTPCH(*seed, *sf)
+	case "imdb":
+		db = engine.OpenIMDB(*seed, *sf)
+	default:
+		fatal("unknown dataset %q (want tpch or imdb)", *dataset)
+	}
+
+	kind := engine.Cardinality
+	switch strings.ToLower(*costKind) {
+	case "plancost":
+		kind = engine.PlanCost
+	case "rows":
+		kind = engine.RowsProcessed
+	}
+
+	var target *stats.TargetDistribution
+	switch strings.ToLower(*dist) {
+	case "uniform":
+		target = stats.Uniform(0, *rangeHi, *interval, *queries)
+	case "normal":
+		target = stats.Normal(0, *rangeHi, *interval, *queries, *rangeHi/2, *rangeHi/5)
+	case "snowset-card":
+		target = realworld.SnowsetCardinality(1, 0, *rangeHi, *interval, *queries)
+	case "snowset-cost":
+		target = realworld.SnowsetCost(0, *rangeHi, *interval, *queries)
+	case "redset":
+		target = realworld.RedsetCost(0, *rangeHi, *interval, *queries)
+	default:
+		fatal("unknown distribution %q", *dist)
+	}
+
+	specs := realworld.RedsetSpecs(*seed)
+	if *specJSON != "" {
+		var err error
+		specs, err = spec.ParseJSON([]byte(*specJSON))
+		if err != nil {
+			fatal("parsing -spec: %v", err)
+		}
+	}
+
+	var oracle llm.Oracle
+	var ledger *llm.Ledger
+	if *llmURL != "" {
+		h := llm.NewHTTPOracle(*llmURL, os.Getenv("OPENAI_API_KEY"), *llmModel)
+		oracle, ledger = h, h.Ledger()
+	} else {
+		sim := llm.NewSim(llm.SimOptions{Seed: *seed})
+		if *transcript != "" {
+			tf, err := os.Create(*transcript)
+			if err != nil {
+				fatal("creating transcript %s: %v", *transcript, err)
+			}
+			defer tf.Close()
+			sim.SetTranscript(tf)
+		}
+		oracle, ledger = sim, sim.Ledger()
+	}
+	cfg := core.Config{
+		DB:       db,
+		Oracle:   oracle,
+		CostKind: kind,
+		Specs:    specs,
+		Target:   target,
+		Seed:     *seed,
+	}
+	if *verbose {
+		cfg.Progress = func(elapsed time.Duration, dist float64) {
+			fmt.Fprintf(os.Stderr, "  t=%-12s distance=%.1f\n", elapsed.Round(time.Millisecond), dist)
+		}
+	}
+	res, err := core.Generate(cfg)
+	if err != nil {
+		fatal("generation failed: %v", err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("creating %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		m := workload.NewManifest(kind.String(), target, res.Workload)
+		if err := m.WriteJSON(w); err != nil {
+			fatal("writing JSON: %v", err)
+		}
+	default:
+		if err := workload.WriteSQL(w, kind.String(), res.Workload); err != nil {
+			fatal("writing SQL: %v", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "generated %d queries | wasserstein distance %.2f | %d templates | %d DBMS calls | %s | LLM: %dK tokens $%.2f\n",
+		len(res.Workload), res.Distance, len(res.Templates), res.DBCalls, res.Elapsed.Round(1e6),
+		ledger.TotalTokens()/1000, ledger.CostUSD())
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sqlbarber: "+format+"\n", args...)
+	os.Exit(1)
+}

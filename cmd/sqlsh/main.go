@@ -1,0 +1,112 @@
+// Command sqlsh is a minimal interactive SQL shell over the embedded
+// engine's built-in datasets — handy for exploring the substrate SQLBarber
+// generates queries against.
+//
+// Usage:
+//
+//	sqlsh -dataset tpch -sf 0.2
+//	> SELECT o_orderstatus, COUNT(*) FROM orders GROUP BY o_orderstatus;
+//	> EXPLAIN SELECT * FROM lineitem WHERE l_quantity > 40;
+//	> \tables
+//	> \q
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sqlbarber/internal/engine"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "tpch", "dataset: tpch|imdb")
+		sf      = flag.Float64("sf", 0.2, "scale factor")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		load    = flag.String("load", "", "open a saved snapshot instead of generating")
+		save    = flag.String("save", "", "save the opened database to a snapshot file and exit")
+	)
+	flag.Parse()
+
+	var db *engine.DB
+	if *load != "" {
+		var err error
+		db, err = engine.OpenSnapshotFile(*load)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sqlsh: loading snapshot: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		switch strings.ToLower(*dataset) {
+		case "imdb":
+			db = engine.OpenIMDB(*seed, *sf)
+		default:
+			db = engine.OpenTPCH(*seed, *sf)
+		}
+	}
+	if *save != "" {
+		if err := db.SaveSnapshot(*save); err != nil {
+			fmt.Fprintf(os.Stderr, "sqlsh: saving snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved snapshot to %s\n", *save)
+		return
+	}
+	fmt.Printf("sqlsh: %s at sf=%.2f (%d tables). \\tables lists tables, \\q quits.\n",
+		*dataset, *sf, len(db.Schema().Tables))
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\q` || line == "exit" || line == "quit":
+			return
+		case line == `\tables`:
+			for _, t := range db.Schema().Tables {
+				fmt.Printf("  %-20s %8d rows\n", t.Name, t.RowCount)
+			}
+		case strings.HasPrefix(line, `\d `):
+			name := strings.TrimSpace(line[3:])
+			fmt.Print(db.Schema().Summary([]string{name}))
+		case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN "):
+			res, err := db.Explain(line[len("EXPLAIN "):])
+			if err != nil {
+				fmt.Println("ERROR:", err)
+				break
+			}
+			fmt.Print(res.Plan)
+			fmt.Printf("estimated cardinality: %.0f | total cost: %.2f\n", res.Cardinality, res.Cost)
+		default:
+			start := time.Now()
+			res, err := db.Execute(strings.TrimSuffix(line, ";"))
+			if err != nil {
+				fmt.Println("ERROR:", err)
+				break
+			}
+			fmt.Println(strings.Join(res.Columns, " | "))
+			limit := len(res.Rows)
+			if limit > 50 {
+				limit = 50
+			}
+			for _, r := range res.Rows[:limit] {
+				parts := make([]string, len(r))
+				for i, v := range r {
+					parts[i] = v.String()
+				}
+				fmt.Println(strings.Join(parts, " | "))
+			}
+			if len(res.Rows) > limit {
+				fmt.Printf("... (%d rows total)\n", len(res.Rows))
+			}
+			fmt.Printf("(%d rows, %s)\n", len(res.Rows), time.Since(start).Round(time.Microsecond))
+		}
+		fmt.Print("> ")
+	}
+}

@@ -1,0 +1,3 @@
+module sqlbarber
+
+go 1.24

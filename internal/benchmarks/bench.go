@@ -1,0 +1,157 @@
+// Package benchmarks defines the ten SQL-workload-generation benchmarks of
+// Table 1 and the harness that reruns every experiment of §6 — the
+// performance study (Figures 5 and 6), the scalability study (Figure 7),
+// the ablation study (Figure 8), and the cost study (Table 2).
+package benchmarks
+
+import (
+	"fmt"
+
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/realworld"
+	"sqlbarber/internal/stats"
+)
+
+// DistBuilder constructs a target distribution over [lo, hi).
+type DistBuilder func(lo, hi float64, intervals, total int) *stats.TargetDistribution
+
+// Benchmark is one Table 1 row: a named target distribution with its cost
+// type, query count, and interval count.
+type Benchmark struct {
+	Name         string
+	Source       string // Synthetic | Snowflake | Redshift
+	CostKind     engine.CostKind
+	NumQueries   int
+	NumIntervals int
+	Hardness     string
+	Build        DistBuilder
+}
+
+// Target materializes the benchmark's target distribution for a cost range,
+// scaling the query count by the divisor (>=1).
+func (b Benchmark) Target(lo, hi float64, queryDivisor int) *stats.TargetDistribution {
+	n := b.NumQueries
+	if queryDivisor > 1 {
+		n /= queryDivisor
+		if n < b.NumIntervals {
+			n = b.NumIntervals
+		}
+	}
+	return b.Build(lo, hi, b.NumIntervals, n)
+}
+
+func uniformDist(lo, hi float64, intervals, total int) *stats.TargetDistribution {
+	return stats.Uniform(lo, hi, intervals, total)
+}
+
+func normalDist(lo, hi float64, intervals, total int) *stats.TargetDistribution {
+	mean := (lo + hi) / 2
+	return stats.Normal(lo, hi, intervals, total, mean, (hi-lo)/5)
+}
+
+// Table1 returns the ten benchmarks exactly as Table 1 lists them. Uniform
+// and normal are evaluated under both cost types; the benchmark's CostKind
+// field holds the default, and the figure runners override it.
+func Table1() []Benchmark {
+	snow1 := func(lo, hi float64, n, t int) *stats.TargetDistribution {
+		return realworld.SnowsetCardinality(1, lo, hi, n, t)
+	}
+	snow2 := func(lo, hi float64, n, t int) *stats.TargetDistribution {
+		return realworld.SnowsetCardinality(2, lo, hi, n, t)
+	}
+	return []Benchmark{
+		{Name: "uniform", Source: "Synthetic", CostKind: engine.Cardinality, NumQueries: 1000, NumIntervals: 10, Hardness: "Medium", Build: uniformDist},
+		{Name: "normal", Source: "Synthetic", CostKind: engine.Cardinality, NumQueries: 1000, NumIntervals: 10, Hardness: "Medium", Build: normalDist},
+		{Name: "Snowset_Card_1_Medium", Source: "Snowflake", CostKind: engine.Cardinality, NumQueries: 1000, NumIntervals: 10, Hardness: "Medium", Build: snow1},
+		{Name: "Snowset_Card_2_Medium", Source: "Snowflake", CostKind: engine.Cardinality, NumQueries: 1000, NumIntervals: 10, Hardness: "Medium", Build: snow2},
+		{Name: "Snowset_Card_1_Hard", Source: "Snowflake", CostKind: engine.Cardinality, NumQueries: 2000, NumIntervals: 20, Hardness: "Hard", Build: snow1},
+		{Name: "Snowset_Card_2_Hard", Source: "Snowflake", CostKind: engine.Cardinality, NumQueries: 2000, NumIntervals: 20, Hardness: "Hard", Build: snow2},
+		{Name: "Snowset_Cost_Medium", Source: "Snowflake", CostKind: engine.PlanCost, NumQueries: 1000, NumIntervals: 10, Hardness: "Medium", Build: realworld.SnowsetCost},
+		{Name: "Snowset_Cost_Hard", Source: "Snowflake", CostKind: engine.PlanCost, NumQueries: 2000, NumIntervals: 20, Hardness: "Hard", Build: realworld.SnowsetCost},
+		{Name: "Redset_Cost_Medium", Source: "Redshift", CostKind: engine.PlanCost, NumQueries: 1000, NumIntervals: 10, Hardness: "Medium", Build: realworld.RedsetCost},
+		{Name: "Redset_Cost_Hard", Source: "Redshift", CostKind: engine.PlanCost, NumQueries: 2000, NumIntervals: 20, Hardness: "Hard", Build: realworld.RedsetCost},
+	}
+}
+
+// ByName finds a Table 1 benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range Table1() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("benchmarks: unknown benchmark %q", name)
+}
+
+// CardinalityBenchmarks returns the Figure 5 set (cardinality targets).
+func CardinalityBenchmarks() []Benchmark {
+	var out []Benchmark
+	for _, b := range Table1() {
+		if b.CostKind == engine.Cardinality {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// CostBenchmarks returns the Figure 6 set (plan-cost targets): the two
+// synthetic distributions re-typed to plan cost plus the four cost
+// benchmarks.
+func CostBenchmarks() []Benchmark {
+	var out []Benchmark
+	for _, b := range Table1() {
+		switch {
+		case b.Source == "Synthetic":
+			b.CostKind = engine.PlanCost
+			out = append(out, b)
+		case b.CostKind == engine.PlanCost:
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Dataset names an evaluation database.
+type Dataset string
+
+// The two §6.1 datasets.
+const (
+	TPCH Dataset = "TPC-H"
+	IMDB Dataset = "IMDB"
+)
+
+// Open loads the dataset at the given seed and scale factor.
+func (d Dataset) Open(seed int64, sf float64) *engine.DB {
+	if d == IMDB {
+		return engine.OpenIMDB(seed, sf)
+	}
+	return engine.OpenTPCH(seed, sf)
+}
+
+// Scale bundles the knobs that shrink experiments below paper scale while
+// preserving their shape. The cost range scales with the dataset so the
+// target distribution stays reachable.
+type Scale struct {
+	Name string
+	// SF is the dataset scale factor.
+	SF float64
+	// RangeHi is the top of the target cost range (paper: 10000 at SF 2).
+	RangeHi float64
+	// QueryDivisor divides each benchmark's query count.
+	QueryDivisor int
+	// BaselineEvalsPerQuery sets baseline budgets: total evaluations =
+	// EvalsPerQuery x requested queries (the stand-in for the paper's
+	// one-hour-per-iteration cap).
+	BaselineEvalsPerQuery int
+	// LibrarySize is the mutated template library size for the baselines
+	// (paper: ~16000).
+	LibrarySize int
+}
+
+// Quick is the default CI-friendly scale: ~100-query workloads on SF 0.5
+// data with a [0, 2500) cost range.
+var Quick = Scale{Name: "quick", SF: 0.5, RangeHi: 2500, QueryDivisor: 10, BaselineEvalsPerQuery: 20, LibrarySize: 400}
+
+// Full approximates paper scale: 1000-2000-query workloads on SF 2 data
+// with the paper's [0, 10k) range and a 16k-template baseline library.
+var Full = Scale{Name: "full", SF: 2.0, RangeHi: 10000, QueryDivisor: 1, BaselineEvalsPerQuery: 60, LibrarySize: 16000}

@@ -1,0 +1,94 @@
+package benchmarks
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sqlbarber/internal/engine"
+)
+
+// tiny returns an even smaller-than-Quick scale for unit tests.
+func tiny() Scale {
+	return Scale{Name: "tiny", SF: 0.2, RangeHi: 1000, QueryDivisor: 20, BaselineEvalsPerQuery: 10, LibrarySize: 120}
+}
+
+func TestTable1HasTenBenchmarks(t *testing.T) {
+	b := Table1()
+	if len(b) != 10 {
+		t.Fatalf("Table 1 has %d benchmarks, want 10", len(b))
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf)
+	for _, name := range []string{"uniform", "normal", "Snowset_Card_1_Hard", "Redset_Cost_Hard"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("Table 1 output missing %s", name)
+		}
+	}
+}
+
+func TestFigureSets(t *testing.T) {
+	card := CardinalityBenchmarks()
+	if len(card) != 6 {
+		t.Fatalf("Figure 5 set has %d benchmarks, want 6", len(card))
+	}
+	cost := CostBenchmarks()
+	if len(cost) != 6 {
+		t.Fatalf("Figure 6 set has %d benchmarks, want 6", len(cost))
+	}
+	for _, b := range cost {
+		if b.CostKind != engine.PlanCost {
+			t.Errorf("cost benchmark %s has kind %v", b.Name, b.CostKind)
+		}
+	}
+}
+
+func TestRunAllMethodsOnUniform(t *testing.T) {
+	r := NewRunner(tiny(), 17)
+	b, err := ByName("uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var barber, hc MethodResult
+	for _, m := range []Method{SQLBarber, HillClimbOrder, LearnedSQLPrio} {
+		res, err := r.RunMethod(m, b, TPCH)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if res.Queries == 0 {
+			t.Errorf("%s produced no queries", m)
+		}
+		t.Logf("%-24s e2e=%s dist=%.1f queries=%d evals=%d", m, res.E2ETime, res.FinalDistance, res.Queries, res.Evaluations)
+		switch m {
+		case SQLBarber:
+			barber = res
+		case HillClimbOrder:
+			hc = res
+		}
+	}
+	if barber.FinalDistance > hc.FinalDistance+50 {
+		t.Errorf("SQLBarber distance %.1f much worse than HillClimbing %.1f", barber.FinalDistance, hc.FinalDistance)
+	}
+}
+
+func TestFigure8RewriteCurveIsMonotone(t *testing.T) {
+	r := NewRunner(tiny(), 5)
+	var buf bytes.Buffer
+	curve, err := r.RunFigure8Rewrite(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.Total != 24 {
+		t.Fatalf("rewrite analysis covers %d templates, want 24", curve.Total)
+	}
+	for i := 1; i < len(curve.Attempts); i++ {
+		if curve.SpecOK[i] < curve.SpecOK[i-1] || curve.SyntaxOK[i] < curve.SyntaxOK[i-1] {
+			t.Fatalf("cumulative curve not monotone at attempt %d", i)
+		}
+	}
+	// The self-correction loop should substantially improve on attempt 0.
+	last := len(curve.Attempts) - 1
+	if curve.SpecOK[last] <= curve.SpecOK[0] && curve.SpecOK[0] < curve.Total {
+		t.Errorf("rewrites did not improve spec compliance: %v", curve.SpecOK)
+	}
+}

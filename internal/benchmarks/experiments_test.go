@@ -1,0 +1,135 @@
+package benchmarks
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// micro returns an extremely small scale so figure runners can be exercised
+// end-to-end in unit tests.
+func micro() Scale {
+	return Scale{Name: "micro", SF: 0.1, RangeHi: 600, QueryDivisor: 50, BaselineEvalsPerQuery: 6, LibrarySize: 60}
+}
+
+func TestRunFigure5MicroSQLBarberOnly(t *testing.T) {
+	r := NewRunner(micro(), 2)
+	var buf bytes.Buffer
+	results, err := r.RunFigure5(&buf, []Method{SQLBarber})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 benchmarks x 2 datasets x 1 method.
+	if len(results) != 12 {
+		t.Fatalf("got %d results, want 12", len(results))
+	}
+	for _, res := range results {
+		if res.Queries == 0 {
+			t.Errorf("%s/%s produced no queries", res.Benchmark, res.Dataset)
+		}
+		if res.Evaluations == 0 {
+			t.Errorf("%s/%s recorded no evaluations", res.Benchmark, res.Dataset)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 5", "uniform", "Snowset_Card_1_Hard", "projected@100ms/eval"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// CSV export over real results.
+	var csv bytes.Buffer
+	if err := WriteSummaryCSV(&csv, results); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(csv.String(), "\n") != 13 {
+		t.Fatalf("summary CSV rows: %d", strings.Count(csv.String(), "\n"))
+	}
+}
+
+func TestRunFigure6MicroSQLBarberOnly(t *testing.T) {
+	r := NewRunner(micro(), 2)
+	var buf bytes.Buffer
+	results, err := r.RunFigure6(&buf, []Method{SQLBarber})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 12 {
+		t.Fatalf("got %d results, want 12", len(results))
+	}
+}
+
+func TestRunFigure7Micro(t *testing.T) {
+	r := NewRunner(micro(), 2)
+	var buf bytes.Buffer
+	pts, err := r.RunFigure7Queries(&buf, []int{10, 20}, []Method{SQLBarber})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	SortScaling(pts)
+	if pts[0].X != 10 || pts[1].X != 20 {
+		t.Fatalf("sorted points: %+v", pts)
+	}
+	pts2, err := r.RunFigure7Intervals(&buf, []int{4, 6}, []Method{SQLBarber})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts2) != 2 {
+		t.Fatalf("interval points: %d", len(pts2))
+	}
+}
+
+func TestRunFigure8AblationMicro(t *testing.T) {
+	r := NewRunner(micro(), 2)
+	var buf bytes.Buffer
+	series, err := r.RunFigure8Ablation(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("variants: %d", len(series))
+	}
+	names := map[string]bool{}
+	for _, s := range series {
+		names[s.Variant] = true
+		if len(s.Trajectory) == 0 {
+			t.Errorf("%s has no trajectory", s.Variant)
+		}
+	}
+	for _, want := range []string{"SQLBarber", "No-Refine-Prune", "Naive-Search"} {
+		if !names[want] {
+			t.Errorf("missing variant %s", want)
+		}
+	}
+}
+
+func TestRunTable2Micro(t *testing.T) {
+	r := NewRunner(micro(), 2)
+	var buf bytes.Buffer
+	rows, err := r.RunTable2(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.TokensK <= 0 || row.NumTemplates == 0 || row.CostUSD <= 0 {
+			t.Errorf("degenerate cost row: %+v", row)
+		}
+	}
+	// Harder benchmarks should not cost less than the easiest one by much;
+	// the paper's observation is more templates for harder distributions.
+	if rows[2].NumTemplates < rows[1].NumTemplates/2 {
+		t.Errorf("hard benchmark produced far fewer templates: %+v", rows)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}

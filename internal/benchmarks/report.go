@@ -1,0 +1,109 @@
+package benchmarks
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteTrajectoryCSV emits the distance-over-time series of one or more
+// method results as CSV (benchmark, dataset, method, elapsed_ms, distance),
+// ready for plotting the Figure 5/6 left panels.
+func WriteTrajectoryCSV(w io.Writer, results []MethodResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "dataset", "method", "elapsed_ms", "distance"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for _, p := range r.Trajectory {
+			rec := []string{
+				r.Benchmark,
+				string(r.Dataset),
+				string(r.Method),
+				strconv.FormatFloat(float64(p.Elapsed.Microseconds())/1000, 'f', 3, 64),
+				strconv.FormatFloat(p.Distance, 'f', 3, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSummaryCSV emits the end-to-end bars of Figure 5/6 (one row per
+// method result).
+func WriteSummaryCSV(w io.Writer, results []MethodResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "dataset", "method", "e2e_ms", "final_distance", "queries", "evaluations"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		rec := []string{
+			r.Benchmark,
+			string(r.Dataset),
+			string(r.Method),
+			strconv.FormatFloat(float64(r.E2ETime.Microseconds())/1000, 'f', 3, 64),
+			strconv.FormatFloat(r.FinalDistance, 'f', 3, 64),
+			strconv.Itoa(r.Queries),
+			strconv.FormatInt(r.Evaluations, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteScalingCSV emits Figure 7 points (x, method, time_ms, distance).
+func WriteScalingCSV(w io.Writer, xName string, points []ScalingPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{xName, "method", "time_ms", "final_distance"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			strconv.Itoa(p.X),
+			string(p.Method),
+			strconv.FormatFloat(float64(p.E2ETime.Microseconds())/1000, 'f', 3, 64),
+			strconv.FormatFloat(p.FinalDistance, 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRewriteCSV emits the Figure 8(a) curve.
+func WriteRewriteCSV(w io.Writer, c RewriteCurve) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"attempt", "spec_correct", "syntax_correct", "total"}); err != nil {
+		return err
+	}
+	for i := range c.Attempts {
+		rec := []string{
+			strconv.Itoa(c.Attempts[i]),
+			strconv.Itoa(c.SpecOK[i]),
+			strconv.Itoa(c.SyntaxOK[i]),
+			strconv.Itoa(c.Total),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FormatTable2 renders Table 2 rows in the paper's layout.
+func FormatTable2(w io.Writer, rows []CostRow) {
+	fmt.Fprintf(w, "%-22s %-12s %-15s %-10s\n", "Benchmark", "Tokens (K)", "#SQL Templates", "Cost (USD)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %-12.0f %-15d %-10.2f\n", r.Benchmark, r.TokensK, r.NumTemplates, r.CostUSD)
+	}
+}

@@ -1,0 +1,230 @@
+// Package bo implements the Bayesian Optimization loop of §5.3: a
+// random-forest surrogate over a normalized parameter space, a lower-
+// confidence-bound acquisition function balancing exploitation and
+// exploration, Latin-Hypercube initialization, and warm-starting from
+// historical runs. It substitutes for the paper's SMAC3 dependency.
+package bo
+
+import (
+	"math/rand"
+
+	"sqlbarber/internal/rf"
+	"sqlbarber/internal/stats"
+)
+
+// Param is one search dimension with its value domain.
+type Param struct {
+	Name    string
+	Lo, Hi  float64
+	Integer bool // round denormalized values to integers
+}
+
+// Space is an ordered set of parameters.
+type Space []Param
+
+// Size estimates the number of distinct configurations in the space, used by
+// Algorithm 3's remaining-search-space bookkeeping.
+func (s Space) Size() float64 {
+	total := 1.0
+	for _, p := range s {
+		if p.Integer {
+			total *= p.Hi - p.Lo + 1
+		} else {
+			total *= 1000 // continuous dimensions contribute a large factor
+		}
+	}
+	return total
+}
+
+// Denormalize maps a unit-cube point to parameter values.
+func (s Space) Denormalize(x []float64) []float64 {
+	out := make([]float64, len(s))
+	for i, p := range s {
+		v := p.Lo + x[i]*(p.Hi-p.Lo)
+		if p.Integer {
+			v = float64(int64(v + 0.5))
+			if v > p.Hi {
+				v = p.Hi
+			}
+			if v < p.Lo {
+				v = p.Lo
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Normalize maps parameter values back to the unit cube.
+func (s Space) Normalize(vals []float64) []float64 {
+	out := make([]float64, len(s))
+	for i, p := range s {
+		if p.Hi > p.Lo {
+			out[i] = (vals[i] - p.Lo) / (p.Hi - p.Lo)
+		}
+	}
+	return out
+}
+
+// Observation is one evaluated configuration.
+type Observation struct {
+	X []float64 // unit-cube coordinates
+	Y float64   // objective value (lower is better)
+}
+
+// Options tunes the optimizer.
+type Options struct {
+	InitSamples int     // LHS warm-up evaluations, default 8
+	Candidates  int     // acquisition candidates per step, default 64
+	Kappa       float64 // exploration weight in LCB, default 1.0
+	Forest      rf.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.InitSamples <= 0 {
+		o.InitSamples = 8
+	}
+	if o.Candidates <= 0 {
+		o.Candidates = 64
+	}
+	if o.Kappa == 0 {
+		o.Kappa = 1.0
+	}
+	return o
+}
+
+// Optimizer minimizes an objective over a Space.
+type Optimizer struct {
+	space Space
+	rng   *rand.Rand
+	opts  Options
+	obs   []Observation
+	init  [][]float64 // pending LHS initialization points
+
+	forest       *rf.Forest
+	forestObsLen int // observation count the cached forest was trained on
+}
+
+// New creates an optimizer; pass prior observations (e.g. re-evaluated
+// history from earlier runs) to warm-start the surrogate.
+func New(space Space, rng *rand.Rand, opts Options, warmStart []Observation) *Optimizer {
+	o := &Optimizer{space: space, rng: rng, opts: opts.withDefaults()}
+	o.obs = append(o.obs, warmStart...)
+	n := o.opts.InitSamples - len(warmStart)
+	if n > 0 {
+		o.init = stats.LatinHypercube(rng, n, len(space))
+	}
+	return o
+}
+
+// Observe records an evaluation result.
+func (o *Optimizer) Observe(x []float64, y float64) {
+	o.obs = append(o.obs, Observation{X: append([]float64(nil), x...), Y: y})
+}
+
+// Observations returns all recorded evaluations.
+func (o *Optimizer) Observations() []Observation { return o.obs }
+
+// Best returns the observation with minimal objective, or ok=false when
+// nothing has been observed.
+func (o *Optimizer) Best() (Observation, bool) {
+	if len(o.obs) == 0 {
+		return Observation{}, false
+	}
+	best := o.obs[0]
+	for _, ob := range o.obs[1:] {
+		if ob.Y < best.Y {
+			best = ob
+		}
+	}
+	return best, true
+}
+
+// Suggest proposes the next unit-cube point: pending LHS initialization
+// first, then surrogate-guided acquisition.
+func (o *Optimizer) Suggest() []float64 {
+	if len(o.init) > 0 {
+		x := o.init[0]
+		o.init = o.init[1:]
+		return x
+	}
+	if len(o.obs) < 2 {
+		return o.randomPoint()
+	}
+	// Retrain the surrogate only after a few new observations; refitting on
+	// every suggestion dominates runtime without improving the search.
+	if o.forest == nil || len(o.obs)-o.forestObsLen >= 4 {
+		X := make([][]float64, len(o.obs))
+		y := make([]float64, len(o.obs))
+		for i, ob := range o.obs {
+			X[i] = ob.X
+			y[i] = ob.Y
+		}
+		o.forest = rf.Train(o.rng, X, y, o.opts.Forest)
+		o.forestObsLen = len(o.obs)
+	}
+	forest := o.forest
+	bestScore := 0.0
+	var bestX []float64
+	for c := 0; c < o.opts.Candidates; c++ {
+		var cand []float64
+		if c%2 == 0 {
+			cand = o.randomPoint()
+		} else {
+			cand = o.mutateBest()
+		}
+		mean, std := forest.Predict(cand)
+		score := mean - o.opts.Kappa*std // lower confidence bound
+		if bestX == nil || score < bestScore {
+			bestScore = score
+			bestX = cand
+		}
+	}
+	return bestX
+}
+
+func (o *Optimizer) randomPoint() []float64 {
+	x := make([]float64, len(o.space))
+	for i := range x {
+		x[i] = o.rng.Float64()
+	}
+	return x
+}
+
+// mutateBest perturbs one of the best observations (local search component
+// of the acquisition candidate pool).
+func (o *Optimizer) mutateBest() []float64 {
+	// Pick among the top few observations.
+	best, _ := o.Best()
+	base := best.X
+	if len(o.obs) > 4 && o.rng.Intn(3) == 0 {
+		base = o.obs[o.rng.Intn(len(o.obs))].X
+	}
+	x := make([]float64, len(base))
+	for i, v := range base {
+		v += o.rng.NormFloat64() * 0.1
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1 - 1e-9
+		}
+		x[i] = v
+	}
+	return x
+}
+
+// Run drives the full minimize loop for budget evaluations, stopping early
+// when stop (optional) returns true after an observation.
+func (o *Optimizer) Run(budget int, objective func(vals []float64) (float64, bool), stop func() bool) {
+	for i := 0; i < budget; i++ {
+		x := o.Suggest()
+		y, ok := objective(o.space.Denormalize(x))
+		if ok {
+			o.Observe(x, y)
+		}
+		if stop != nil && stop() {
+			return
+		}
+	}
+}

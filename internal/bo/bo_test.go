@@ -1,0 +1,167 @@
+package bo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testSpace() Space {
+	return Space{
+		{Name: "x", Lo: -5, Hi: 5},
+		{Name: "y", Lo: 0, Hi: 100, Integer: true},
+	}
+}
+
+func TestDenormalizeNormalizeRoundTripProperty(t *testing.T) {
+	s := Space{{Name: "a", Lo: 2, Hi: 10}, {Name: "b", Lo: -3, Hi: 3}}
+	f := func(u1, u2 float64) bool {
+		x := []float64{clamp01(math.Abs(u1)), clamp01(math.Abs(u2))}
+		vals := s.Denormalize(x)
+		back := s.Normalize(vals)
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp01(x float64) float64 {
+	x = math.Mod(x, 1)
+	if x < 0 {
+		x += 1
+	}
+	return x
+}
+
+func TestDenormalizeInteger(t *testing.T) {
+	s := testSpace()
+	vals := s.Denormalize([]float64{0.5, 0.505})
+	if vals[0] != 0 {
+		t.Fatalf("continuous midpoint = %v, want 0", vals[0])
+	}
+	if vals[1] != math.Trunc(vals[1]) {
+		t.Fatalf("integer param not rounded: %v", vals[1])
+	}
+	lo := s.Denormalize([]float64{0, 0})
+	hi := s.Denormalize([]float64{1, 1})
+	if lo[1] != 0 || hi[1] != 100 {
+		t.Fatalf("integer bounds: %v %v", lo[1], hi[1])
+	}
+}
+
+func TestSpaceSize(t *testing.T) {
+	s := testSpace()
+	if s.Size() <= 100 {
+		t.Fatalf("size %v too small", s.Size())
+	}
+}
+
+func TestOptimizerConvergesOnQuadratic(t *testing.T) {
+	space := Space{{Name: "x", Lo: 0, Hi: 10}, {Name: "y", Lo: 0, Hi: 10}}
+	objective := func(v []float64) (float64, bool) {
+		return (v[0]-7)*(v[0]-7) + (v[1]-2)*(v[1]-2), true
+	}
+	rng := rand.New(rand.NewSource(5))
+	opt := New(space, rng, Options{InitSamples: 8}, nil)
+	opt.Run(60, objective, nil)
+	best, ok := opt.Best()
+	if !ok {
+		t.Fatal("no observations")
+	}
+	if best.Y > 2.0 {
+		t.Fatalf("BO best %.3f after 60 evals; not converging toward (7,2)", best.Y)
+	}
+}
+
+func TestOptimizerBeatsRandomOnAverage(t *testing.T) {
+	space := Space{{Name: "x", Lo: 0, Hi: 1}, {Name: "y", Lo: 0, Hi: 1}, {Name: "z", Lo: 0, Hi: 1}}
+	target := []float64{0.3, 0.8, 0.1}
+	obj := func(v []float64) float64 {
+		s := 0.0
+		for i := range v {
+			d := v[i] - target[i]
+			s += d * d
+		}
+		return s
+	}
+	budget := 40
+	boTotal, rndTotal := 0.0, 0.0
+	for trial := 0; trial < 5; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		opt := New(space, rng, Options{}, nil)
+		opt.Run(budget, func(v []float64) (float64, bool) { return obj(v), true }, nil)
+		b, _ := opt.Best()
+		boTotal += b.Y
+
+		rng2 := rand.New(rand.NewSource(int64(trial + 100)))
+		bestRnd := math.Inf(1)
+		for i := 0; i < budget; i++ {
+			v := []float64{rng2.Float64(), rng2.Float64(), rng2.Float64()}
+			if y := obj(v); y < bestRnd {
+				bestRnd = y
+			}
+		}
+		rndTotal += bestRnd
+	}
+	if boTotal > rndTotal*1.5 {
+		t.Fatalf("BO (%.4f) much worse than random (%.4f) — surrogate is hurting", boTotal, rndTotal)
+	}
+}
+
+func TestWarmStartSkipsInit(t *testing.T) {
+	space := Space{{Name: "x", Lo: 0, Hi: 1}}
+	warm := make([]Observation, 10)
+	for i := range warm {
+		x := float64(i) / 10
+		warm[i] = Observation{X: []float64{x}, Y: (x - 0.5) * (x - 0.5)}
+	}
+	rng := rand.New(rand.NewSource(1))
+	opt := New(space, rng, Options{InitSamples: 8}, warm)
+	if len(opt.init) != 0 {
+		t.Fatalf("warm start should cover initialization, %d LHS points pending", len(opt.init))
+	}
+	// First suggestion should already exploit the warm model near 0.5.
+	evals := 0
+	opt.Run(10, func(v []float64) (float64, bool) {
+		evals++
+		return (v[0] - 0.5) * (v[0] - 0.5), true
+	}, nil)
+	best, _ := opt.Best()
+	if best.Y > 0.01 {
+		t.Fatalf("warm-started best %.4f, want near 0 quickly", best.Y)
+	}
+}
+
+func TestRunStopsEarly(t *testing.T) {
+	space := Space{{Name: "x", Lo: 0, Hi: 1}}
+	rng := rand.New(rand.NewSource(1))
+	opt := New(space, rng, Options{InitSamples: 2}, nil)
+	evals := 0
+	opt.Run(100, func(v []float64) (float64, bool) {
+		evals++
+		return v[0], true
+	}, func() bool { return evals >= 5 })
+	if evals != 5 {
+		t.Fatalf("stop callback ignored: %d evals", evals)
+	}
+}
+
+func TestFailedEvaluationsSkipped(t *testing.T) {
+	space := Space{{Name: "x", Lo: 0, Hi: 1}}
+	rng := rand.New(rand.NewSource(1))
+	opt := New(space, rng, Options{InitSamples: 2}, nil)
+	opt.Run(10, func(v []float64) (float64, bool) { return 0, false }, nil)
+	if len(opt.Observations()) != 0 {
+		t.Fatal("failed evaluations must not be recorded")
+	}
+	if _, ok := opt.Best(); ok {
+		t.Fatal("Best() must report no observations")
+	}
+}

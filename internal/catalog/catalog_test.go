@@ -1,0 +1,160 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"sqlbarber/internal/sqltypes"
+)
+
+func testSchema() *Schema {
+	return &Schema{
+		Name: "shop",
+		Tables: []*Table{
+			{
+				Name: "users", PrimaryKey: "user_id", RowCount: 1000,
+				Columns: []Column{
+					{Name: "user_id", Type: TypeInt, Indexed: true},
+					{Name: "user_name", Type: TypeString},
+					{Name: "age", Type: TypeInt},
+				},
+			},
+			{
+				Name: "orders", PrimaryKey: "order_id", RowCount: 5000,
+				ForeignKeys: []ForeignKey{{Column: "user_id", RefTable: "users", RefColumn: "user_id"}},
+				Columns: []Column{
+					{Name: "order_id", Type: TypeInt, Indexed: true},
+					{Name: "user_id", Type: TypeInt, Indexed: true},
+					{Name: "order_amount", Type: TypeFloat},
+				},
+			},
+			{
+				Name: "items", PrimaryKey: "item_id", RowCount: 20000,
+				ForeignKeys: []ForeignKey{{Column: "order_id", RefTable: "orders", RefColumn: "order_id"}},
+				Columns: []Column{
+					{Name: "item_id", Type: TypeInt, Indexed: true},
+					{Name: "order_id", Type: TypeInt, Indexed: true},
+					{Name: "price", Type: TypeFloat},
+				},
+			},
+		},
+	}
+}
+
+func TestTableLookupCaseInsensitive(t *testing.T) {
+	s := testSchema()
+	if s.Table("ORDERS") == nil || s.Table("Orders") == nil {
+		t.Fatal("table lookup must be case-insensitive")
+	}
+	if s.Table("nope") != nil {
+		t.Fatal("unknown table must return nil")
+	}
+	tbl := s.Table("users")
+	if tbl.Column("USER_NAME") == nil {
+		t.Fatal("column lookup must be case-insensitive")
+	}
+	if tbl.ColumnIndex("age") != 2 {
+		t.Fatalf("ColumnIndex(age) = %d", tbl.ColumnIndex("age"))
+	}
+	if tbl.ColumnIndex("ghost") != -1 {
+		t.Fatal("missing column index must be -1")
+	}
+}
+
+func TestNumericColumns(t *testing.T) {
+	got := testSchema().Table("users").NumericColumns()
+	if len(got) != 2 || got[0] != "user_id" || got[1] != "age" {
+		t.Fatalf("NumericColumns = %v", got)
+	}
+}
+
+func TestJoinEdges(t *testing.T) {
+	edges := testSchema().JoinEdges()
+	if len(edges) != 2 {
+		t.Fatalf("got %d edges, want 2", len(edges))
+	}
+	if edges[0].String() != "orders.user_id = users.user_id" {
+		t.Errorf("edge rendering: %s", edges[0])
+	}
+}
+
+func TestJoinPathsZeroJoins(t *testing.T) {
+	paths := testSchema().JoinPaths(0, 0)
+	if len(paths) != 3 {
+		t.Fatalf("0-join paths = %d, want 3 (one per table)", len(paths))
+	}
+	for _, p := range paths {
+		if len(p.Tables) != 1 || len(p.Edges) != 0 {
+			t.Fatalf("bad 0-join path: %+v", p)
+		}
+	}
+}
+
+func TestJoinPathsOneJoin(t *testing.T) {
+	paths := testSchema().JoinPaths(1, 0)
+	// users-orders and orders-items (each direction deduped).
+	if len(paths) != 2 {
+		t.Fatalf("1-join paths = %d, want 2: %+v", len(paths), paths)
+	}
+	for _, p := range paths {
+		if len(p.Tables) != 2 || len(p.Edges) != 1 {
+			t.Fatalf("bad path shape: %+v", p)
+		}
+	}
+}
+
+func TestJoinPathsTwoJoins(t *testing.T) {
+	paths := testSchema().JoinPaths(2, 0)
+	if len(paths) != 1 {
+		t.Fatalf("2-join paths = %d, want 1 (users-orders-items)", len(paths))
+	}
+	p := paths[0]
+	if len(p.Tables) != 3 {
+		t.Fatalf("path tables: %v", p.Tables)
+	}
+	// Edges must chain: edge i connects Tables[i] to Tables[i+1].
+	for i, e := range p.Edges {
+		if !strings.EqualFold(e.LeftTable, p.Tables[i]) || !strings.EqualFold(e.RightTable, p.Tables[i+1]) {
+			t.Fatalf("edge %d does not chain: %+v over %v", i, e, p.Tables)
+		}
+	}
+}
+
+func TestJoinPathsNoSuchLength(t *testing.T) {
+	if got := testSchema().JoinPaths(5, 0); len(got) != 0 {
+		t.Fatalf("impossible join count returned %d paths", len(got))
+	}
+}
+
+func TestJoinPathsLimit(t *testing.T) {
+	if got := testSchema().JoinPaths(1, 1); len(got) != 1 {
+		t.Fatalf("limit not applied: %d", len(got))
+	}
+}
+
+func TestSummaryContent(t *testing.T) {
+	s := testSchema()
+	s.Tables[0].Columns[0].Stats = ColumnStats{
+		Min: sqltypes.NewInt(1), Max: sqltypes.NewInt(1000), NDistinct: 1000,
+	}
+	sum := s.Summary(nil)
+	for _, want := range []string{"TABLE users", "TABLE orders", "PRIMARY KEY (user_id)",
+		"FOREIGN KEY (user_id) REFERENCES users(user_id)", "ndistinct=1000", "min=1 max=1000", "indexed"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	only := s.Summary([]string{"users"})
+	if strings.Contains(only, "TABLE orders") {
+		t.Error("filtered summary must exclude other tables")
+	}
+}
+
+func TestColumnTypeKind(t *testing.T) {
+	if TypeInt.Kind() != sqltypes.KindInt || TypeFloat.Kind() != sqltypes.KindFloat || TypeString.Kind() != sqltypes.KindString {
+		t.Fatal("ColumnType.Kind mapping broken")
+	}
+	if TypeInt.String() != "INTEGER" || TypeString.String() != "TEXT" {
+		t.Fatal("ColumnType.String mapping broken")
+	}
+}

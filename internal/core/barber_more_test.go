@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/spec"
+	"sqlbarber/internal/stats"
+)
+
+func TestConfigValidation(t *testing.T) {
+	db := engine.OpenTPCH(1, 0.05)
+	oracle := llm.NewSim(llm.Perfect(1))
+	target := stats.Uniform(0, 100, 2, 4)
+	cases := []Config{
+		{Oracle: oracle, Target: target}, // no DB
+		{DB: db, Target: target},         // no oracle
+		{DB: db, Oracle: oracle},         // no target
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestGenerateFailsWhenNoTemplates(t *testing.T) {
+	db := engine.OpenTPCH(1, 0.05)
+	cfg := Config{
+		DB:       db,
+		Oracle:   llm.NewSim(llm.Perfect(1)),
+		CostKind: engine.Cardinality,
+		Specs:    []spec.Spec{{NumJoins: spec.Int(30)}}, // impossible
+		Target:   stats.Uniform(0, 100, 2, 4),
+		Seed:     1,
+	}
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("no-valid-template case must error")
+	}
+}
+
+func TestProgressCallbackInvoked(t *testing.T) {
+	db := engine.OpenTPCH(5, 0.05)
+	calls := 0
+	var lastElapsed time.Duration
+	cfg := Config{
+		DB:       db,
+		Oracle:   llm.NewSim(llm.SimOptions{Seed: 5}),
+		CostKind: engine.Cardinality,
+		Specs:    testSpecs()[:3],
+		Target:   stats.Uniform(0, 1500, 5, 50),
+		Seed:     5,
+		Progress: func(elapsed time.Duration, dist float64) {
+			calls++
+			if elapsed < lastElapsed {
+				t.Errorf("elapsed went backwards: %v after %v", elapsed, lastElapsed)
+			}
+			lastElapsed = elapsed
+		},
+	}
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("progress callback never invoked")
+	}
+	if len(res.Trajectory) < calls {
+		t.Fatalf("trajectory (%d) shorter than callbacks (%d)", len(res.Trajectory), calls)
+	}
+	// The final trajectory point must match the result.
+	last := res.Trajectory[len(res.Trajectory)-1]
+	if last.Distance != res.Distance {
+		t.Fatalf("final trajectory distance %v != result %v", last.Distance, res.Distance)
+	}
+}
+
+func TestGenerateWithRowsProcessedCost(t *testing.T) {
+	db := engine.OpenTPCH(9, 0.05)
+	cfg := Config{
+		DB:       db,
+		Oracle:   llm.NewSim(llm.SimOptions{Seed: 9}),
+		CostKind: engine.RowsProcessed,
+		Specs:    testSpecs()[:4],
+		Target:   stats.Uniform(0, 6000, 4, 40),
+		Seed:     9,
+	}
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workload) == 0 {
+		t.Fatal("no workload under rows-processed cost")
+	}
+	// Execution-based cost kinds must also be deterministic: replaying a
+	// query gives the same cost.
+	q := res.Workload[0]
+	again, err := db.Cost(q.SQL, engine.RowsProcessed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != q.Cost {
+		t.Fatalf("rows-processed cost not reproducible: %v vs %v", again, q.Cost)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() *Result {
+		db := engine.OpenTPCH(33, 0.05)
+		res, err := Generate(Config{
+			DB:       db,
+			Oracle:   llm.NewSim(llm.SimOptions{Seed: 33}),
+			CostKind: engine.Cardinality,
+			Specs:    testSpecs()[:4],
+			Target:   stats.Uniform(0, 1500, 5, 40),
+			Seed:     33,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Workload) != len(b.Workload) {
+		t.Fatalf("workload sizes differ: %d vs %d", len(a.Workload), len(b.Workload))
+	}
+	for i := range a.Workload {
+		if a.Workload[i].SQL != b.Workload[i].SQL || a.Workload[i].Cost != b.Workload[i].Cost {
+			t.Fatalf("workload query %d differs across identical runs", i)
+		}
+	}
+	if a.Distance != b.Distance {
+		t.Fatalf("distances differ: %v vs %v", a.Distance, b.Distance)
+	}
+}
+
+func TestTemplatesSatisfySpecsEndToEnd(t *testing.T) {
+	db := engine.OpenTPCH(21, 0.05)
+	specs := testSpecs()
+	res, err := Generate(Config{
+		DB:       db,
+		Oracle:   llm.NewSim(llm.SimOptions{Seed: 21}),
+		CostKind: engine.Cardinality,
+		Specs:    specs,
+		Target:   stats.Uniform(0, 1500, 5, 50),
+		Seed:     21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.Templates {
+		if ok, viol := st.Spec.Check(st.Profile.Template.Features()); !ok {
+			t.Errorf("final template %d violates its spec: %v\n%s",
+				st.Profile.Template.ID, viol, st.Profile.Template.SQL())
+		}
+	}
+	// Every workload query must be executable, not just plannable.
+	for i, q := range res.Workload {
+		if i >= 10 {
+			break
+		}
+		if _, err := db.Execute(q.SQL); err != nil {
+			t.Fatalf("workload query does not execute: %v\n%s", err, q.SQL)
+		}
+	}
+}
+
+func TestGenerateParallelSearch(t *testing.T) {
+	db := engine.OpenTPCH(12, 0.05)
+	cfg := Config{
+		DB:       db,
+		Oracle:   llm.NewSim(llm.SimOptions{Seed: 12}),
+		CostKind: engine.Cardinality,
+		Specs:    testSpecs(),
+		Target:   stats.Uniform(0, 1500, 5, 60),
+		Seed:     12,
+	}
+	cfg.SearchOpts.Parallelism = 4
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workload) < 40 {
+		t.Fatalf("parallel search produced only %d queries", len(res.Workload))
+	}
+	if res.Distance > 200 {
+		t.Fatalf("parallel search distance %.1f", res.Distance)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/spec"
+	"sqlbarber/internal/stats"
+)
+
+func testSpecs() []spec.Spec {
+	return []spec.Spec{
+		{NumJoins: spec.Int(0), NumPredicates: spec.Int(2)},
+		{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)},
+		{NumJoins: spec.Int(1), NumPredicates: spec.Int(1), GroupBy: spec.Bool(true), NumAggregations: spec.Int(1)},
+		{NumJoins: spec.Int(2), NumPredicates: spec.Int(2)},
+		{NumJoins: spec.Int(0), NumPredicates: spec.Int(2), NestedQuery: spec.Bool(true)},
+		{NumJoins: spec.Int(0), NumPredicates: spec.Int(1)},
+	}
+}
+
+func TestGenerateEndToEndCardinality(t *testing.T) {
+	db := engine.OpenTPCH(7, 0.1)
+	oracle := llm.NewSim(llm.SimOptions{Seed: 7})
+	target := stats.Uniform(0, 3000, 6, 120)
+	res, err := Generate(Config{
+		DB:       db,
+		Oracle:   oracle,
+		CostKind: engine.Cardinality,
+		Specs:    testSpecs(),
+		Target:   target,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if len(res.Workload) == 0 {
+		t.Fatal("empty workload")
+	}
+	t.Logf("workload=%d distance=%.1f templates=%d dbcalls=%d elapsed=%s",
+		len(res.Workload), res.Distance, len(res.Templates), res.DBCalls, res.Elapsed)
+	if res.Distance > 500 {
+		t.Errorf("distance %.1f too large; pipeline is not converging", res.Distance)
+	}
+	if got := len(res.Workload); got < int(float64(target.Total())*0.8) {
+		t.Errorf("workload has %d queries, want >= 80%% of %d", got, target.Total())
+	}
+	// Every query must respect its recorded cost's interval membership.
+	for _, q := range res.Workload {
+		if target.Intervals.Index(q.Cost) < 0 {
+			t.Fatalf("workload query cost %.1f outside target range", q.Cost)
+		}
+	}
+}
+
+func TestGenerateEndToEndPlanCost(t *testing.T) {
+	db := engine.OpenIMDB(11, 0.2)
+	oracle := llm.NewSim(llm.SimOptions{Seed: 11})
+	target := stats.Normal(0, 500, 5, 100, 250, 120)
+	res, err := Generate(Config{
+		DB:       db,
+		Oracle:   oracle,
+		CostKind: engine.PlanCost,
+		Specs:    testSpecs(),
+		Target:   target,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	t.Logf("workload=%d distance=%.1f templates=%d dbcalls=%d",
+		len(res.Workload), res.Distance, len(res.Templates), res.DBCalls)
+	if len(res.Workload) == 0 {
+		t.Fatal("empty workload")
+	}
+}
+
+func TestAblationVariantsRun(t *testing.T) {
+	db := engine.OpenTPCH(3, 0.05)
+	target := stats.Uniform(0, 2000, 4, 40)
+	for _, tc := range []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"NoRefinePrune", func(c *Config) { c.DisableRefine = true }},
+		{"NaiveSearch", func(c *Config) { c.NaiveSearch = true }},
+		{"NoLHS", func(c *Config) { c.IndependentSampling = true }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{
+				DB:       db,
+				Oracle:   llm.NewSim(llm.SimOptions{Seed: 3}),
+				CostKind: engine.Cardinality,
+				Specs:    testSpecs()[:4],
+				Target:   target,
+				Seed:     3,
+			}
+			tc.mod(&cfg)
+			res, err := Generate(cfg)
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			if len(res.Workload) == 0 {
+				t.Fatal("empty workload")
+			}
+		})
+	}
+}

@@ -1,0 +1,153 @@
+package datagen
+
+import (
+	"testing"
+
+	"sqlbarber/internal/sqltypes"
+	"sqlbarber/internal/storage"
+)
+
+func TestTPCHShape(t *testing.T) {
+	db := TPCH(1, 0.1)
+	want := map[string]int{
+		"region": 5, "nation": 25, "supplier": 10, "customer": 150,
+		"part": 200, "partsupp": 800, "orders": 1500, "lineitem": 6000,
+	}
+	if got := len(db.Schema.Tables); got != 8 {
+		t.Fatalf("TPC-H has %d tables, want 8", got)
+	}
+	for name, rows := range want {
+		tbl := db.Table(name)
+		if tbl == nil {
+			t.Fatalf("missing table %s", name)
+		}
+		if len(tbl.Rows) != rows {
+			t.Errorf("%s has %d rows, want %d", name, len(tbl.Rows), rows)
+		}
+		if db.Schema.Table(name).RowCount != rows {
+			t.Errorf("%s catalog rowcount stale", name)
+		}
+	}
+}
+
+func TestIMDBShape(t *testing.T) {
+	db := IMDB(1, 0.1)
+	if got := len(db.Schema.Tables); got != 21 {
+		t.Fatalf("IMDB has %d tables, want 21", got)
+	}
+	for _, name := range []string{"title", "name", "cast_info", "movie_info", "kind_type",
+		"role_type", "company_type", "link_type", "comp_cast_type", "info_type",
+		"char_name", "company_name", "keyword", "movie_info_idx", "movie_keyword",
+		"movie_companies", "movie_link", "complete_cast", "person_info", "aka_name", "aka_title"} {
+		if db.Table(name) == nil {
+			t.Errorf("missing table %s", name)
+		}
+	}
+}
+
+// checkFKIntegrity verifies every FK value references an existing parent key.
+func checkFKIntegrity(t *testing.T, db *storage.Database) {
+	t.Helper()
+	for _, tbl := range db.Schema.Tables {
+		for _, fk := range tbl.ForeignKeys {
+			parent := db.Table(fk.RefTable)
+			if parent == nil {
+				t.Fatalf("%s FK references missing table %s", tbl.Name, fk.RefTable)
+			}
+			parentKeys := map[sqltypes.Value]bool{}
+			pIdx := parent.Meta.ColumnIndex(fk.RefColumn)
+			if pIdx < 0 {
+				t.Fatalf("%s FK references missing column %s.%s", tbl.Name, fk.RefTable, fk.RefColumn)
+			}
+			for _, r := range parent.Rows {
+				parentKeys[r[pIdx]] = true
+			}
+			cIdx := tbl.ColumnIndex(fk.Column)
+			data := db.Table(tbl.Name)
+			for i, r := range data.Rows {
+				if !parentKeys[r[cIdx]] {
+					t.Fatalf("%s row %d: FK %s=%v has no parent in %s.%s",
+						tbl.Name, i, fk.Column, r[cIdx], fk.RefTable, fk.RefColumn)
+				}
+			}
+		}
+	}
+}
+
+func TestTPCHForeignKeyIntegrity(t *testing.T) {
+	checkFKIntegrity(t, TPCH(3, 0.05))
+}
+
+func TestIMDBForeignKeyIntegrity(t *testing.T) {
+	checkFKIntegrity(t, IMDB(3, 0.05))
+}
+
+func TestDeterminism(t *testing.T) {
+	a := TPCH(42, 0.05)
+	b := TPCH(42, 0.05)
+	ta, tb := a.Table("orders"), b.Table("orders")
+	if len(ta.Rows) != len(tb.Rows) {
+		t.Fatal("row counts differ for same seed")
+	}
+	for i := range ta.Rows {
+		for j := range ta.Rows[i] {
+			if ta.Rows[i][j].Compare(tb.Rows[i][j]) != 0 {
+				t.Fatalf("row %d col %d differs: %v vs %v", i, j, ta.Rows[i][j], tb.Rows[i][j])
+			}
+		}
+	}
+	c := TPCH(43, 0.05)
+	diff := false
+	tc := c.Table("orders")
+	for i := range ta.Rows {
+		if ta.Rows[i][3].Compare(tc.Rows[i][3]) != 0 {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	db := TPCH(1, 0.05)
+	col := db.Schema.Table("lineitem").Column("l_quantity")
+	if col.Stats.NDistinct == 0 || col.Stats.Min.IsNull() {
+		t.Fatal("ANALYZE must populate stats during generation")
+	}
+	if col.Stats.Min.Float() < 1 || col.Stats.Max.Float() > 50 {
+		t.Fatalf("l_quantity range [%v,%v] outside spec", col.Stats.Min, col.Stats.Max)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	db := TPCH(1, 0.2)
+	// o_custkey is Zipf-skewed: the most common customer must appear far
+	// more often than the average.
+	orders := db.Table("orders")
+	idx := orders.Meta.ColumnIndex("o_custkey")
+	counts := map[int64]int{}
+	for _, r := range orders.Rows {
+		counts[r[idx].Int()]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	avg := float64(len(orders.Rows)) / float64(len(counts))
+	if float64(maxCount) < 3*avg {
+		t.Errorf("o_custkey skew too weak: max %d vs avg %.1f", maxCount, avg)
+	}
+}
+
+func TestScaledMinimumOne(t *testing.T) {
+	db := TPCH(1, 0.00001)
+	for _, tbl := range db.Schema.Tables {
+		if tbl.RowCount < 1 {
+			t.Errorf("%s has %d rows at tiny sf; want >= 1", tbl.Name, tbl.RowCount)
+		}
+	}
+}

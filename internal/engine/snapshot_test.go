@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotSaveLoadPreservesEstimates(t *testing.T) {
+	db := OpenTPCH(4, 0.05)
+	path := filepath.Join(t.TempDir(), "tpch.snap")
+	if err := db.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := OpenSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT * FROM lineitem WHERE l_quantity > 25",
+		"SELECT o_orderstatus, COUNT(*) FROM orders GROUP BY o_orderstatus",
+		"SELECT l.l_orderkey FROM lineitem AS l JOIN orders AS o ON l.l_orderkey = o.o_orderkey WHERE o.o_totalprice > 1000",
+	}
+	for _, q := range queries {
+		a, err := db.Explain(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Explain(q)
+		if err != nil {
+			t.Fatalf("loaded explain: %v", err)
+		}
+		if a.Cardinality != b.Cardinality || a.Cost != b.Cost {
+			t.Fatalf("estimates drifted after snapshot: %v/%v vs %v/%v for %q",
+				a.Cardinality, a.Cost, b.Cardinality, b.Cost, q)
+		}
+		ra, err := db.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := loaded.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ra.Rows) != len(rb.Rows) {
+			t.Fatalf("result sizes drifted: %d vs %d for %q", len(ra.Rows), len(rb.Rows), q)
+		}
+	}
+	if loaded.Schema().Name != db.Schema().Name {
+		t.Fatal("schema name lost")
+	}
+	if loaded.Store() == nil {
+		t.Fatal("store accessor broken")
+	}
+}
+
+func TestOpenSnapshotFileMissing(t *testing.T) {
+	if _, err := OpenSnapshotFile("/nonexistent/path.snap"); err == nil {
+		t.Fatal("missing snapshot must error")
+	}
+}

@@ -1,0 +1,246 @@
+package exec
+
+import (
+	"strings"
+
+	"sqlbarber/internal/plan"
+	"sqlbarber/internal/sqlparser"
+	"sqlbarber/internal/sqltypes"
+	"sqlbarber/internal/storage"
+)
+
+// aggState accumulates one aggregate function over one group.
+type aggState struct {
+	call     *sqlparser.FuncCall
+	count    int64
+	sum      float64
+	sumIsInt bool
+	sumInt   int64
+	min, max sqltypes.Value
+	distinct map[string]bool
+	seenAny  bool
+}
+
+func newAggState(call *sqlparser.FuncCall) *aggState {
+	st := &aggState{call: call, sumIsInt: true}
+	if call.Distinct {
+		st.distinct = map[string]bool{}
+	}
+	return st
+}
+
+func (st *aggState) add(v sqltypes.Value) {
+	if st.call.Star {
+		st.count++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	if st.distinct != nil {
+		k := v.String()
+		if st.distinct[k] {
+			return
+		}
+		st.distinct[k] = true
+	}
+	st.count++
+	if v.IsNumeric() {
+		st.sum += v.Float()
+		if v.Kind() == sqltypes.KindInt {
+			st.sumInt += v.Int()
+		} else {
+			st.sumIsInt = false
+		}
+	}
+	if !st.seenAny || v.Compare(st.min) < 0 {
+		st.min = v
+	}
+	if !st.seenAny || v.Compare(st.max) > 0 {
+		st.max = v
+	}
+	st.seenAny = true
+}
+
+func (st *aggState) result() sqltypes.Value {
+	switch st.call.Name {
+	case "COUNT":
+		return sqltypes.NewInt(st.count)
+	case "SUM":
+		if st.count == 0 {
+			return sqltypes.Null
+		}
+		if st.sumIsInt {
+			return sqltypes.NewInt(st.sumInt)
+		}
+		return sqltypes.NewFloat(st.sum)
+	case "AVG":
+		if st.count == 0 {
+			return sqltypes.Null
+		}
+		return sqltypes.NewFloat(st.sum / float64(st.count))
+	case "MIN":
+		if !st.seenAny {
+			return sqltypes.Null
+		}
+		return st.min
+	case "MAX":
+		if !st.seenAny {
+			return sqltypes.Null
+		}
+		return st.max
+	}
+	return sqltypes.Null
+}
+
+// collectAggCalls gathers every aggregate call appearing in the select list,
+// HAVING, and ORDER BY (current level only).
+func collectAggCalls(stmt *sqlparser.SelectStmt) []*sqlparser.FuncCall {
+	var calls []*sqlparser.FuncCall
+	var visit func(e sqlparser.Expr)
+	visit = func(e sqlparser.Expr) {
+		if e == nil {
+			return
+		}
+		switch t := e.(type) {
+		case *sqlparser.FuncCall:
+			if t.IsAggregate() {
+				calls = append(calls, t)
+				return
+			}
+			for _, a := range t.Args {
+				visit(a)
+			}
+		case *sqlparser.BinaryExpr:
+			visit(t.L)
+			visit(t.R)
+		case *sqlparser.UnaryExpr:
+			visit(t.X)
+		case *sqlparser.CaseExpr:
+			for _, w := range t.Whens {
+				visit(w.Cond)
+				visit(w.Result)
+			}
+			visit(t.Else)
+		case *sqlparser.BetweenExpr:
+			visit(t.X)
+			visit(t.Lo)
+			visit(t.Hi)
+		case *sqlparser.InExpr:
+			visit(t.X)
+			for _, it := range t.List {
+				visit(it)
+			}
+		case *sqlparser.LikeExpr:
+			visit(t.X)
+		case *sqlparser.IsNullExpr:
+			visit(t.X)
+		}
+	}
+	for _, it := range stmt.Items {
+		visit(it.Expr)
+	}
+	visit(stmt.Having)
+	for _, o := range stmt.OrderBy {
+		visit(o.Expr)
+	}
+	return calls
+}
+
+// group holds one group's state during aggregation.
+type group struct {
+	repr   []storage.Row // representative tuple for group-key evaluation
+	states []*aggState
+}
+
+// aggregate executes grouping and aggregation for aggregate queries,
+// applying HAVING and ORDER BY over the aggregated output.
+func (ex *executor) aggregate(q *plan.Query, parent *env, tuples [][]storage.Row) (*Result, error) {
+	calls := collectAggCalls(q.Stmt)
+	groups := map[string]*group{}
+	var order []string // deterministic group order of first appearance
+	for _, tp := range tuples {
+		e := &env{q: q, rows: tp, parent: parent}
+		var kb strings.Builder
+		for _, g := range q.Stmt.GroupBy {
+			v, err := ex.eval(g, e)
+			if err != nil {
+				return nil, err
+			}
+			kb.WriteString(v.String())
+			kb.WriteByte(0)
+		}
+		key := kb.String()
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{repr: tp, states: make([]*aggState, len(calls))}
+			for i, c := range calls {
+				grp.states[i] = newAggState(c)
+			}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		for i, c := range calls {
+			if c.Star {
+				grp.states[i].add(sqltypes.Null)
+				continue
+			}
+			v, err := ex.eval(c.Args[0], e)
+			if err != nil {
+				return nil, err
+			}
+			grp.states[i].add(v)
+		}
+	}
+	// A global aggregate over zero rows still produces one group.
+	if len(q.Stmt.GroupBy) == 0 && len(groups) == 0 {
+		grp := &group{repr: make([]storage.Row, len(q.Binding.Scope.Tables)),
+			states: make([]*aggState, len(calls))}
+		for i, c := range calls {
+			grp.states[i] = newAggState(c)
+		}
+		groups[""] = grp
+		order = append(order, "")
+	}
+	cols, _ := ex.outputColumns(q)
+	res := &Result{Columns: cols}
+	var rows []sortable
+	for _, key := range order {
+		grp := groups[key]
+		aggs := make(map[*sqlparser.FuncCall]sqltypes.Value, len(calls))
+		for i, c := range calls {
+			aggs[c] = grp.states[i].result()
+		}
+		e := &env{q: q, rows: grp.repr, parent: parent, aggs: aggs}
+		if q.Stmt.Having != nil {
+			hv, err := ex.eval(q.Stmt.Having, e)
+			if err != nil {
+				return nil, err
+			}
+			if !hv.Bool() {
+				continue
+			}
+		}
+		row := make(storage.Row, 0, len(q.Stmt.Items))
+		for _, it := range q.Stmt.Items {
+			if it.Star {
+				return nil, rtErrf("SELECT * cannot be combined with aggregation")
+			}
+			v, err := ex.eval(it.Expr, e)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		keys, err := ex.orderKeys(q, e)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, sortable{row, keys})
+	}
+	sortRows(rows, q.Stmt.OrderBy)
+	for _, r := range rows {
+		res.Rows = append(res.Rows, r.row)
+	}
+	return res, nil
+}

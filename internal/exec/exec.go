@@ -1,0 +1,396 @@
+// Package exec implements the embedded engine's query executor. It runs
+// planned queries (see internal/plan) against the in-memory store,
+// supporting filters, hash and nested-loop joins, left joins, grouping and
+// aggregation, HAVING, DISTINCT, ORDER BY, LIMIT, and correlated and
+// uncorrelated subqueries.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sqlbarber/internal/plan"
+	"sqlbarber/internal/sqlparser"
+	"sqlbarber/internal/sqltypes"
+	"sqlbarber/internal/storage"
+)
+
+// Result is the output of executing a query.
+type Result struct {
+	Columns []string
+	Rows    []storage.Row
+	// RowsTouched counts tuples processed while executing the query (rows
+	// scanned plus intermediate join tuples) — a deterministic
+	// execution-effort metric usable as a query cost (Definition 2.10's
+	// "actual measurements" option).
+	RowsTouched int64
+}
+
+// RuntimeError reports an execution-time failure.
+type RuntimeError struct {
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *RuntimeError) Error() string { return e.Msg }
+
+func rtErrf(format string, args ...any) *RuntimeError {
+	return &RuntimeError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Run executes a planned query against the database.
+func Run(db *storage.Database, q *plan.Query) (*Result, error) {
+	ex := &executor{db: db, subCache: map[*sqlparser.SelectStmt]*Result{}}
+	res, err := ex.runQuery(q, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.RowsTouched = ex.rowsTouched
+	return res, nil
+}
+
+type executor struct {
+	db          *storage.Database
+	subCache    map[*sqlparser.SelectStmt]*Result
+	rowsTouched int64
+}
+
+// env is the tuple environment: one row per table instance of the current
+// query, chained to the enclosing query's env for correlated subqueries.
+type env struct {
+	q      *plan.Query
+	rows   []storage.Row
+	parent *env
+	// aggs maps aggregate calls to their computed group values during
+	// post-aggregation expression evaluation.
+	aggs map[*sqlparser.FuncCall]sqltypes.Value
+}
+
+func (e *env) lookup(ref plan.ColRef) sqltypes.Value {
+	cur := e
+	for l := 0; l < ref.Level; l++ {
+		if cur.parent == nil {
+			return sqltypes.Null
+		}
+		cur = cur.parent
+	}
+	if ref.TableIdx >= len(cur.rows) || cur.rows[ref.TableIdx] == nil {
+		return sqltypes.Null
+	}
+	return cur.rows[ref.TableIdx][ref.ColIdx]
+}
+
+func (ex *executor) runQuery(q *plan.Query, parent *env) (*Result, error) {
+	tuples, err := ex.joinPipeline(q, parent)
+	if err != nil {
+		return nil, err
+	}
+	// Residual predicates (multi-table and subquery conjuncts).
+	if len(q.Residual) > 0 {
+		filtered := tuples[:0]
+		for _, tp := range tuples {
+			e := &env{q: q, rows: tp, parent: parent}
+			keep := true
+			for _, c := range q.Residual {
+				v, err := ex.eval(c, e)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Bool() {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				filtered = append(filtered, tp)
+			}
+		}
+		tuples = filtered
+	}
+	var out *Result
+	if plan.IsAggregateQuery(q.Stmt) {
+		out, err = ex.aggregate(q, parent, tuples)
+	} else {
+		out, err = ex.project(q, parent, tuples)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if q.Stmt.Distinct {
+		out.Rows = dedupe(out.Rows)
+	}
+	if q.Stmt.Limit >= 0 && len(out.Rows) > q.Stmt.Limit {
+		out.Rows = out.Rows[:q.Stmt.Limit]
+	}
+	return out, nil
+}
+
+// joinPipeline scans and joins all table instances, producing tuples of one
+// row per instance.
+func (ex *executor) joinPipeline(q *plan.Query, parent *env) ([][]storage.Row, error) {
+	n := len(q.Binding.Scope.Tables)
+	scan := func(idx int) ([]storage.Row, error) {
+		inst := q.Binding.Scope.Tables[idx]
+		tbl := ex.db.Table(inst.Table.Name)
+		if tbl == nil {
+			return nil, rtErrf("relation %q has no storage", inst.Table.Name)
+		}
+		ex.rowsTouched += int64(len(tbl.Rows))
+		filters := q.ScanFilters[idx]
+		if len(filters) == 0 {
+			return tbl.Rows, nil
+		}
+		var out []storage.Row
+		e := &env{q: q, rows: make([]storage.Row, n), parent: parent}
+		for _, r := range tbl.Rows {
+			e.rows[idx] = r
+			keep := true
+			for _, f := range filters {
+				v, err := ex.eval(f, e)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Bool() {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	}
+	left, err := scan(0)
+	if err != nil {
+		return nil, err
+	}
+	tuples := make([][]storage.Row, len(left))
+	for i, r := range left {
+		tp := make([]storage.Row, n)
+		tp[0] = r
+		tuples[i] = tp
+	}
+	for ji := range q.Stmt.Joins {
+		rightIdx := ji + 1
+		right, err := scan(rightIdx)
+		if err != nil {
+			return nil, err
+		}
+		tuples, err = ex.joinStep(q, parent, tuples, right, ji, rightIdx, n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tuples, nil
+}
+
+func (ex *executor) joinStep(q *plan.Query, parent *env, tuples [][]storage.Row, right []storage.Row, ji, rightIdx, n int) ([][]storage.Row, error) {
+	isLeft := q.Stmt.Joins[ji].Type == sqlparser.JoinLeft
+	extra := q.JoinExtra[ji]
+	e := &env{q: q, rows: make([]storage.Row, n), parent: parent}
+	checkExtra := func(tp []storage.Row, r storage.Row) (bool, error) {
+		copy(e.rows, tp)
+		e.rows[rightIdx] = r
+		for _, c := range extra {
+			v, err := ex.eval(c, e)
+			if err != nil {
+				return false, err
+			}
+			if !v.Bool() {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	var out [][]storage.Row
+	emit := func(tp []storage.Row, r storage.Row) {
+		nt := make([]storage.Row, n)
+		copy(nt, tp)
+		nt[rightIdx] = r
+		out = append(out, nt)
+		ex.rowsTouched++
+	}
+	if ek := q.JoinEqui[ji]; ek != nil {
+		lref := q.Binding.Cols[ek.Left]
+		rref := q.Binding.Cols[ek.Right]
+		ht := make(map[uint64][]storage.Row, len(right))
+		for _, r := range right {
+			v := r[rref.ColIdx]
+			if v.IsNull() {
+				continue
+			}
+			h := v.Hash()
+			ht[h] = append(ht[h], r)
+		}
+		for _, tp := range tuples {
+			lrow := tp[lref.TableIdx]
+			var lv sqltypes.Value
+			if lrow != nil {
+				lv = lrow[lref.ColIdx]
+			}
+			matched := false
+			if !lv.IsNull() {
+				for _, r := range ht[lv.Hash()] {
+					if !lv.Equal(r[rref.ColIdx]) {
+						continue
+					}
+					ok, err := checkExtra(tp, r)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						matched = true
+						emit(tp, r)
+					}
+				}
+			}
+			if isLeft && !matched {
+				emit(tp, nil)
+			}
+		}
+		return out, nil
+	}
+	// Nested loop with arbitrary ON predicate (checkExtra holds all conds).
+	for _, tp := range tuples {
+		matched := false
+		for _, r := range right {
+			ok, err := checkExtra(tp, r)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				matched = true
+				emit(tp, r)
+			}
+		}
+		if isLeft && !matched {
+			emit(tp, nil)
+		}
+	}
+	return out, nil
+}
+
+// project evaluates the select list per tuple (non-aggregate queries) and
+// applies ORDER BY.
+func (ex *executor) project(q *plan.Query, parent *env, tuples [][]storage.Row) (*Result, error) {
+	cols, starCols := ex.outputColumns(q)
+	res := &Result{Columns: cols}
+	var rows []sortable
+	for _, tp := range tuples {
+		e := &env{q: q, rows: tp, parent: parent}
+		row := make(storage.Row, 0, len(cols))
+		for _, it := range q.Stmt.Items {
+			if it.Star {
+				for _, sc := range starCols {
+					row = append(row, e.lookup(sc))
+				}
+				continue
+			}
+			v, err := ex.eval(it.Expr, e)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		keys, err := ex.orderKeys(q, e)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, sortable{row, keys})
+	}
+	sortRows(rows, q.Stmt.OrderBy)
+	for _, r := range rows {
+		res.Rows = append(res.Rows, r.row)
+	}
+	return res, nil
+}
+
+// sortable pairs an output row with its ORDER BY keys.
+type sortable struct {
+	row  storage.Row
+	keys []sqltypes.Value
+}
+
+func sortRows(rows []sortable, order []sqlparser.OrderItem) {
+	if len(order) == 0 {
+		return
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k := range order {
+			c := rows[i].keys[k].Compare(rows[j].keys[k])
+			if c == 0 {
+				continue
+			}
+			if order[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+func (ex *executor) orderKeys(q *plan.Query, e *env) ([]sqltypes.Value, error) {
+	if len(q.Stmt.OrderBy) == 0 {
+		return nil, nil
+	}
+	keys := make([]sqltypes.Value, len(q.Stmt.OrderBy))
+	for i, o := range q.Stmt.OrderBy {
+		v, err := ex.eval(o.Expr, e)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+// outputColumns derives output column names and, for star items, the column
+// refs to expand.
+func (ex *executor) outputColumns(q *plan.Query) ([]string, []plan.ColRef) {
+	var cols []string
+	var starCols []plan.ColRef
+	for _, it := range q.Stmt.Items {
+		if it.Star {
+			for ti, inst := range q.Binding.Scope.Tables {
+				for ci, c := range inst.Table.Columns {
+					cols = append(cols, c.Name)
+					starCols = append(starCols, plan.ColRef{TableIdx: ti, ColIdx: ci})
+				}
+			}
+			continue
+		}
+		switch {
+		case it.Alias != "":
+			cols = append(cols, it.Alias)
+		default:
+			if cr, ok := it.Expr.(*sqlparser.ColumnRef); ok {
+				cols = append(cols, cr.Name)
+			} else {
+				cols = append(cols, it.Expr.SQL())
+			}
+		}
+	}
+	return cols, starCols
+}
+
+func dedupe(rows []storage.Row) []storage.Row {
+	seen := map[string]bool{}
+	out := rows[:0]
+	for _, r := range rows {
+		var b strings.Builder
+		for _, v := range r {
+			b.WriteString(v.String())
+			b.WriteByte(0)
+		}
+		k := b.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package generator
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/spec"
+)
+
+// flakyOracle wraps a working oracle but fails every nth call — failure
+// injection for the generator's error paths.
+type flakyOracle struct {
+	inner llm.Oracle
+	n     int
+	calls int
+}
+
+var errFlaky = errors.New("simulated LLM API outage")
+
+func (f *flakyOracle) tick() error {
+	f.calls++
+	if f.n > 0 && f.calls%f.n == 0 {
+		return errFlaky
+	}
+	return nil
+}
+
+func (f *flakyOracle) GenerateTemplate(req llm.GenerateRequest) (string, error) {
+	if err := f.tick(); err != nil {
+		return "", err
+	}
+	return f.inner.GenerateTemplate(req)
+}
+
+func (f *flakyOracle) ValidateSemantics(sql string, s spec.Spec) (bool, []string, error) {
+	if err := f.tick(); err != nil {
+		return false, nil, err
+	}
+	return f.inner.ValidateSemantics(sql, s)
+}
+
+func (f *flakyOracle) FixSemantics(sql string, s spec.Spec, v []string, req llm.GenerateRequest) (string, error) {
+	if err := f.tick(); err != nil {
+		return "", err
+	}
+	return f.inner.FixSemantics(sql, s, v, req)
+}
+
+func (f *flakyOracle) FixExecution(sql string, dbmsErr string, req llm.GenerateRequest) (string, error) {
+	if err := f.tick(); err != nil {
+		return "", err
+	}
+	return f.inner.FixExecution(sql, dbmsErr, req)
+}
+
+func (f *flakyOracle) RefineTemplate(req llm.RefineRequest) (string, error) {
+	if err := f.tick(); err != nil {
+		return "", err
+	}
+	return f.inner.RefineTemplate(req)
+}
+
+func TestGeneratorSurfacesOracleErrors(t *testing.T) {
+	db := engine.OpenTPCH(1, 0.05)
+	oracle := &flakyOracle{inner: llm.NewSim(llm.SimOptions{Seed: 1}), n: 1} // fail immediately
+	g := New(db, oracle, Options{Seed: 1})
+	_, err := g.Generate(spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(1)})
+	if !errors.Is(err, errFlaky) {
+		t.Fatalf("oracle failure must propagate, got %v", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "template generation failed") {
+		t.Fatalf("error should say which stage failed: %v", err)
+	}
+}
+
+func TestGeneratorErrorsMidLoop(t *testing.T) {
+	db := engine.OpenTPCH(2, 0.05)
+	// Fail on a later call so the failure lands inside the rewrite loop.
+	for _, n := range []int{2, 3, 4} {
+		oracle := &flakyOracle{inner: llm.NewSim(llm.SimOptions{Seed: 2}), n: n}
+		g := New(db, oracle, Options{Seed: 2})
+		_, err := g.Generate(spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)})
+		if err != nil && !errors.Is(err, errFlaky) {
+			t.Fatalf("n=%d: unexpected error type: %v", n, err)
+		}
+	}
+}
+
+func TestGenerateAllStopsOnOracleError(t *testing.T) {
+	db := engine.OpenTPCH(3, 0.05)
+	oracle := &flakyOracle{inner: llm.NewSim(llm.Perfect(3)), n: 5}
+	g := New(db, oracle, Options{Seed: 3})
+	var specs []spec.Spec
+	for i := 0; i < 10; i++ {
+		specs = append(specs, spec.Spec{NumJoins: spec.Int(0), NumPredicates: spec.Int(1)})
+	}
+	results, err := g.GenerateAll(specs)
+	if err == nil {
+		t.Fatal("GenerateAll must stop on oracle errors")
+	}
+	// Partial results up to the failure are returned.
+	if len(results) == 0 {
+		t.Fatal("partial results lost")
+	}
+	_ = fmt.Sprintf("%v", results)
+}
+
+func TestTranscriptRecordsCalls(t *testing.T) {
+	db := engine.OpenTPCH(4, 0.05)
+	sim := llm.NewSim(llm.Perfect(4))
+	var sb strings.Builder
+	sim.SetTranscript(&sb)
+	g := New(db, sim, Options{Seed: 4})
+	if _, err := g.Generate(spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "=== call 1 ===") || !strings.Contains(out, "--- prompt ---") {
+		t.Fatalf("transcript missing structure:\n%.200s", out)
+	}
+	if !strings.Contains(out, "schema summary") {
+		t.Fatal("transcript should contain the generation prompt")
+	}
+}

@@ -1,0 +1,215 @@
+// Package generator implements §4, the Customized SQL Template Generator:
+// database schema summarization, join path generation, prompt construction,
+// LLM template generation, and the iterative template check-and-rewrite loop
+// of Algorithm 1.
+package generator
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"sqlbarber/internal/catalog"
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/spec"
+	"sqlbarber/internal/sqltemplate"
+)
+
+// Options configures the generator.
+type Options struct {
+	// MaxRewrites is Algorithm 1's k: the maximum check-and-rewrite
+	// iterations per template (default 8; convergence typically happens by
+	// attempt 3-4, the slack covers unlucky repair draws).
+	MaxRewrites int
+	// MaxPathCandidates caps join-path enumeration per join count
+	// (default 64).
+	MaxPathCandidates int
+	// Seed drives join-path sampling.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRewrites <= 0 {
+		o.MaxRewrites = 8
+	}
+	if o.MaxPathCandidates <= 0 {
+		o.MaxPathCandidates = 64
+	}
+	return o
+}
+
+// AttemptTrace records the validation state after each rewrite attempt,
+// feeding the Figure 8a rewrite-analysis experiment.
+type AttemptTrace struct {
+	// Attempt 0 is the initial generation; attempts 1..k are rewrites.
+	Attempt   int
+	SpecOK    bool
+	SyntaxOK  bool
+	Template  string
+	DBMSError string
+}
+
+// Result is one generated template with its provenance.
+type Result struct {
+	Template *sqltemplate.Template
+	Spec     spec.Spec
+	Path     catalog.JoinPath
+	Trace    []AttemptTrace
+	// Valid reports whether the final template passed both checks within
+	// the rewrite budget.
+	Valid bool
+}
+
+// Generator creates customized SQL templates for one target database.
+type Generator struct {
+	db     *engine.DB
+	oracle llm.Oracle
+	opts   Options
+	rng    *rand.Rand
+}
+
+// New creates a Generator.
+func New(db *engine.DB, oracle llm.Oracle, opts Options) *Generator {
+	o := opts.withDefaults()
+	return &Generator{db: db, oracle: oracle, opts: o, rng: rand.New(rand.NewSource(o.Seed))}
+}
+
+// ErrNoJoinPath indicates the schema has no join path with the requested
+// number of joins.
+var ErrNoJoinPath = errors.New("generator: no join path satisfies the requested join count")
+
+// samplePath picks a random join path honouring the spec's join count
+// (§4 Step 2). Randomness diversifies join patterns across attempts and
+// keeps each prompt small (only the sampled tables are summarized).
+func (g *Generator) samplePath(s spec.Spec) (catalog.JoinPath, error) {
+	numJoins := 0
+	switch {
+	case s.NumJoins != nil:
+		numJoins = *s.NumJoins
+	case s.NumTables != nil:
+		numJoins = *s.NumTables - 1
+	default:
+		numJoins = g.rng.Intn(3)
+	}
+	if numJoins < 0 {
+		numJoins = 0
+	}
+	paths := g.db.Schema().JoinPaths(numJoins, g.opts.MaxPathCandidates)
+	// Honour an explicit table count that differs from joins+1 by preferring
+	// paths whose distinct-table count matches (self-join-free schemas make
+	// this equal to joins+1, so usually every path qualifies).
+	if s.NumTables != nil {
+		var filtered []catalog.JoinPath
+		for _, p := range paths {
+			if len(p.Tables) == *s.NumTables {
+				filtered = append(filtered, p)
+			}
+		}
+		if len(filtered) > 0 {
+			paths = filtered
+		}
+	}
+	if len(paths) == 0 {
+		return catalog.JoinPath{}, fmt.Errorf("%w: %d joins", ErrNoJoinPath, numJoins)
+	}
+	return paths[g.rng.Intn(len(paths))], nil
+}
+
+// Generate runs the full §4 workflow for one specification: sample a join
+// path, prompt the LLM, then check and rewrite per Algorithm 1.
+func (g *Generator) Generate(s spec.Spec) (*Result, error) {
+	path, err := g.samplePath(s)
+	if err != nil {
+		return nil, err
+	}
+	req := llm.GenerateRequest{Schema: g.db.Schema(), JoinPath: path, Spec: s}
+	sql, err := g.oracle.GenerateTemplate(req)
+	if err != nil {
+		return nil, fmt.Errorf("generator: template generation failed: %w", err)
+	}
+	res := &Result{Spec: s, Path: path}
+	// Algorithm 1: iterative template check and rewrite.
+	for attempt := 0; attempt <= g.opts.MaxRewrites; attempt++ {
+		trace := AttemptTrace{Attempt: attempt, Template: sql}
+
+		// Phase 1: specification compliance (LLM judge).
+		satisfied, violations, err := g.oracle.ValidateSemantics(sql, s)
+		if err != nil {
+			return nil, fmt.Errorf("generator: semantic validation failed: %w", err)
+		}
+		trace.SpecOK = satisfied
+		fixed := sql
+		if !satisfied {
+			fixed, err = g.oracle.FixSemantics(sql, s, violations, req)
+			if err != nil {
+				return nil, fmt.Errorf("generator: semantic fix failed: %w", err)
+			}
+		}
+
+		// Phase 2: database executability (DBMS check).
+		executable, dbmsErr := g.db.ValidateSyntax(sql)
+		trace.SyntaxOK = executable
+		trace.DBMSError = dbmsErr
+		if !executable {
+			fixed2, err := g.oracle.FixExecution(fixed, dbmsErr, req)
+			if err != nil {
+				return nil, fmt.Errorf("generator: execution fix failed: %w", err)
+			}
+			fixed = fixed2
+		}
+
+		res.Trace = append(res.Trace, trace)
+		if satisfied && executable {
+			t, perr := sqltemplate.Parse(sql)
+			if perr != nil {
+				// The LLM judge approved an unparseable template; treat as a
+				// failed attempt and continue rewriting.
+				sql = fixed
+				continue
+			}
+			res.Template = t
+			res.Valid = true
+			return res, nil
+		}
+		sql = fixed
+	}
+	// Budget exhausted: return the last candidate (marked invalid) so the
+	// caller can decide to drop or retry it.
+	if t, perr := sqltemplate.Parse(sql); perr == nil {
+		res.Template = t
+	}
+	return res, nil
+}
+
+// GenerateAll generates one template per specification, skipping
+// specifications that cannot be satisfied (no join path) and templates that
+// stayed invalid after the rewrite budget.
+func (g *Generator) GenerateAll(specs []spec.Spec) ([]*Result, error) {
+	var out []*Result
+	for i, s := range specs {
+		res, err := g.Generate(s)
+		if errors.Is(err, ErrNoJoinPath) {
+			continue
+		}
+		if err != nil {
+			return out, err
+		}
+		if res.Template != nil {
+			res.Template.ID = i + 1
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ValidResults filters results to templates that passed both checks.
+func ValidResults(results []*Result) []*sqltemplate.Template {
+	var out []*sqltemplate.Template
+	for _, r := range results {
+		if r.Valid && r.Template != nil {
+			out = append(out, r.Template)
+		}
+	}
+	return out
+}

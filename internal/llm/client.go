@@ -1,0 +1,125 @@
+// Package llm defines the language-model oracle SQLBarber's pipelines call
+// into, plus SimLLM — a deterministic, schema-aware simulated LLM that
+// substitutes for the paper's OpenAI o3-mini dependency.
+//
+// SimLLM synthesizes SQL templates from join paths and specifications,
+// judges specification compliance, repairs templates given violations or
+// DBMS errors, and refines templates toward target cost intervals. Crucially
+// it also *hallucinates* at configurable rates (invalid columns, spec
+// violations, malformed SQL), which is what gives Algorithm 1's
+// check-and-rewrite loop and Figure 8a's convergence curve something real to
+// do. Every call is metered through a token ledger priced at o3-mini rates
+// so the Table 2 cost study can be reproduced.
+package llm
+
+import (
+	"sync/atomic"
+
+	"sqlbarber/internal/catalog"
+	"sqlbarber/internal/spec"
+	"sqlbarber/internal/stats"
+)
+
+// GenerateRequest asks for a fresh SQL template (§4 Step 4).
+type GenerateRequest struct {
+	Schema   *catalog.Schema
+	JoinPath catalog.JoinPath
+	Spec     spec.Spec
+}
+
+// RefineAttempt records one historical refinement trial for few-shot
+// prompting (Algorithm 2 phase 2).
+type RefineAttempt struct {
+	TemplateSQL string
+	MinCost     float64
+	MaxCost     float64
+	Hit         bool // produced any query inside the target interval
+}
+
+// RefineRequest asks for a template variant targeting a cost interval
+// (Algorithm 2's M.RefineTemplate).
+type RefineRequest struct {
+	Schema      *catalog.Schema
+	TemplateSQL string
+	Spec        spec.Spec
+	Costs       []float64 // observed costs of the template being refined
+	Target      stats.Interval
+	History     []RefineAttempt // nil in phase 1
+}
+
+// Oracle is the language-model interface the template generator and the
+// cost-aware query generator depend on. Implementations must be safe for
+// sequential use; SQLBarber drives them single-threaded per pipeline.
+type Oracle interface {
+	// GenerateTemplate produces template SQL from the prompt context. The
+	// output may be syntactically invalid or violate the specification —
+	// callers must validate (Algorithm 1).
+	GenerateTemplate(req GenerateRequest) (string, error)
+	// ValidateSemantics judges whether the template satisfies the
+	// specification, returning the violations it found (Algorithm 1 line 2).
+	ValidateSemantics(templateSQL string, s spec.Spec) (satisfied bool, violations []string, err error)
+	// FixSemantics rewrites the template to address the violations
+	// (Algorithm 1 line 4).
+	FixSemantics(templateSQL string, s spec.Spec, violations []string, req GenerateRequest) (string, error)
+	// FixExecution rewrites the template to address a DBMS error
+	// (Algorithm 1 line 8).
+	FixExecution(templateSQL string, dbmsError string, req GenerateRequest) (string, error)
+	// RefineTemplate produces a new template aimed at an uncovered cost
+	// interval (Algorithm 2 line 22).
+	RefineTemplate(req RefineRequest) (string, error)
+}
+
+// o3-mini pricing (USD per million tokens) used by the cost study.
+const (
+	inputPricePerMTok  = 1.10
+	outputPricePerMTok = 4.40
+)
+
+// Ledger meters token usage and monetary cost across all oracle calls.
+type Ledger struct {
+	promptTokens     atomic.Int64
+	completionTokens atomic.Int64
+	calls            atomic.Int64
+}
+
+// Record charges one call to the ledger.
+func (l *Ledger) Record(prompt, completion string) {
+	l.promptTokens.Add(int64(CountTokens(prompt)))
+	l.completionTokens.Add(int64(CountTokens(completion)))
+	l.calls.Add(1)
+}
+
+// PromptTokens returns total input tokens.
+func (l *Ledger) PromptTokens() int64 { return l.promptTokens.Load() }
+
+// CompletionTokens returns total output tokens.
+func (l *Ledger) CompletionTokens() int64 { return l.completionTokens.Load() }
+
+// TotalTokens returns input+output tokens.
+func (l *Ledger) TotalTokens() int64 { return l.PromptTokens() + l.CompletionTokens() }
+
+// Calls returns the number of oracle invocations.
+func (l *Ledger) Calls() int64 { return l.calls.Load() }
+
+// CostUSD prices the recorded usage at o3-mini rates.
+func (l *Ledger) CostUSD() float64 {
+	return float64(l.PromptTokens())/1e6*inputPricePerMTok +
+		float64(l.CompletionTokens())/1e6*outputPricePerMTok
+}
+
+// Reset zeroes the ledger.
+func (l *Ledger) Reset() {
+	l.promptTokens.Store(0)
+	l.completionTokens.Store(0)
+	l.calls.Store(0)
+}
+
+// CountTokens approximates BPE token counts the way practitioners do for
+// budgeting: roughly one token per four characters of English/SQL text.
+func CountTokens(s string) int {
+	n := (len(s) + 3) / 4
+	if n == 0 && len(s) > 0 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,255 @@
+package llm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"sqlbarber/internal/spec"
+)
+
+// HTTPOracle implements Oracle against any OpenAI-compatible chat
+// completions endpoint (the paper uses o3-mini through this exact protocol).
+// It is the production counterpart of SimLLM: same prompts, same ledger,
+// real model. The offline test suite exercises it against a local stub
+// server; pointing BaseURL at https://api.openai.com/v1 with a key makes
+// the whole pipeline run on a hosted model.
+type HTTPOracle struct {
+	// BaseURL is the API root, e.g. "https://api.openai.com/v1".
+	BaseURL string
+	// APIKey is sent as a bearer token when non-empty.
+	APIKey string
+	// Model names the chat model (default "o3-mini").
+	Model string
+	// Client is the HTTP client (default: 60s timeout).
+	Client *http.Client
+	// MaxRetries bounds retry attempts on transient failures (default 2).
+	MaxRetries int
+
+	ledger Ledger
+}
+
+var _ Oracle = (*HTTPOracle)(nil)
+
+// NewHTTPOracle creates a client for an OpenAI-compatible endpoint.
+func NewHTTPOracle(baseURL, apiKey, model string) *HTTPOracle {
+	if model == "" {
+		model = "o3-mini"
+	}
+	return &HTTPOracle{
+		BaseURL:    strings.TrimRight(baseURL, "/"),
+		APIKey:     apiKey,
+		Model:      model,
+		Client:     &http.Client{Timeout: 60 * time.Second},
+		MaxRetries: 2,
+	}
+}
+
+// Ledger exposes the token/cost meter (counts are taken from API usage
+// fields when present, approximated otherwise).
+func (o *HTTPOracle) Ledger() *Ledger { return &o.ledger }
+
+// Chat request/response wire types (OpenAI chat completions subset).
+type chatRequest struct {
+	Model    string        `json:"model"`
+	Messages []chatMessage `json:"messages"`
+}
+
+type chatMessage struct {
+	Role    string `json:"role"`
+	Content string `json:"content"`
+}
+
+type chatResponse struct {
+	Choices []struct {
+		Message chatMessage `json:"message"`
+	} `json:"choices"`
+	Usage struct {
+		PromptTokens     int `json:"prompt_tokens"`
+		CompletionTokens int `json:"completion_tokens"`
+	} `json:"usage"`
+	Error *struct {
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// complete sends one chat turn and returns the assistant text.
+func (o *HTTPOracle) complete(prompt string) (string, error) {
+	body, err := json.Marshal(chatRequest{
+		Model:    o.Model,
+		Messages: []chatMessage{{Role: "user", Content: prompt}},
+	})
+	if err != nil {
+		return "", err
+	}
+	var lastErr error
+	retries := o.MaxRetries
+	if retries < 0 {
+		retries = 0
+	}
+	for attempt := 0; attempt <= retries; attempt++ {
+		text, retryable, err := o.completeOnce(body, prompt)
+		if err == nil {
+			return text, nil
+		}
+		lastErr = err
+		if !retryable {
+			break
+		}
+	}
+	return "", fmt.Errorf("llm: chat completion failed: %w", lastErr)
+}
+
+func (o *HTTPOracle) completeOnce(body []byte, prompt string) (text string, retryable bool, err error) {
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodPost,
+		o.BaseURL+"/chat/completions", bytes.NewReader(body))
+	if err != nil {
+		return "", false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if o.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+o.APIKey)
+	}
+	client := o.Client
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", true, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return "", true, err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+		return "", true, fmt.Errorf("status %d: %s", resp.StatusCode, truncate(string(data), 200))
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", false, fmt.Errorf("status %d: %s", resp.StatusCode, truncate(string(data), 200))
+	}
+	var cr chatResponse
+	if err := json.Unmarshal(data, &cr); err != nil {
+		return "", false, fmt.Errorf("decoding response: %w", err)
+	}
+	if cr.Error != nil {
+		return "", false, fmt.Errorf("api error: %s", cr.Error.Message)
+	}
+	if len(cr.Choices) == 0 {
+		return "", false, fmt.Errorf("empty choices")
+	}
+	content := cr.Choices[0].Message.Content
+	if cr.Usage.PromptTokens > 0 || cr.Usage.CompletionTokens > 0 {
+		o.ledger.promptTokens.Add(int64(cr.Usage.PromptTokens))
+		o.ledger.completionTokens.Add(int64(cr.Usage.CompletionTokens))
+		o.ledger.calls.Add(1)
+	} else {
+		o.ledger.Record(prompt, content)
+	}
+	return content, false, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// ExtractSQL pulls the SQL statement out of a model response, stripping
+// markdown code fences and surrounding prose: the first fenced block wins,
+// otherwise the first line starting with SELECT.
+func ExtractSQL(response string) string {
+	if i := strings.Index(response, "```"); i >= 0 {
+		rest := response[i+3:]
+		// Skip a language tag like ```sql
+		if j := strings.IndexByte(rest, '\n'); j >= 0 && !strings.ContainsAny(rest[:j], " \t{}();") {
+			rest = rest[j+1:]
+		}
+		if k := strings.Index(rest, "```"); k >= 0 {
+			return strings.TrimSpace(rest[:k])
+		}
+		return strings.TrimSpace(rest)
+	}
+	upper := strings.ToUpper(response)
+	if i := strings.Index(upper, "SELECT"); i >= 0 {
+		return strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(response[i:]), ";"))
+	}
+	return strings.TrimSpace(response)
+}
+
+// GenerateTemplate prompts the model for a fresh template.
+func (o *HTTPOracle) GenerateTemplate(req GenerateRequest) (string, error) {
+	resp, err := o.complete(buildGeneratePrompt(req))
+	if err != nil {
+		return "", err
+	}
+	return ExtractSQL(resp), nil
+}
+
+// validateJudgment is the structured verdict requested from the model.
+type validateJudgment struct {
+	Satisfied  bool     `json:"satisfied"`
+	Violations []string `json:"violations"`
+}
+
+// ValidateSemantics asks the model to judge spec compliance, requesting a
+// JSON verdict; unparseable verdicts degrade to "not satisfied" with the raw
+// reasoning text as the violation.
+func (o *HTTPOracle) ValidateSemantics(templateSQL string, s spec.Spec) (bool, []string, error) {
+	prompt := buildValidatePrompt(templateSQL, s.Describe()) +
+		"\nAnswer with JSON only: {\"satisfied\": bool, \"violations\": [string]}\n"
+	resp, err := o.complete(prompt)
+	if err != nil {
+		return false, nil, err
+	}
+	var v validateJudgment
+	if jerr := json.Unmarshal([]byte(extractJSON(resp)), &v); jerr != nil {
+		return false, []string{"judge response was not structured: " + truncate(resp, 200)}, nil
+	}
+	return v.Satisfied, v.Violations, nil
+}
+
+// extractJSON trims prose and code fences around a JSON object.
+func extractJSON(s string) string {
+	start := strings.IndexByte(s, '{')
+	end := strings.LastIndexByte(s, '}')
+	if start >= 0 && end > start {
+		return s[start : end+1]
+	}
+	return s
+}
+
+// FixSemantics asks the model to rewrite the template against the reported
+// violations.
+func (o *HTTPOracle) FixSemantics(templateSQL string, s spec.Spec, violations []string, req GenerateRequest) (string, error) {
+	resp, err := o.complete(buildFixSemanticsPrompt(templateSQL, s.Describe(), violations))
+	if err != nil {
+		return "", err
+	}
+	return ExtractSQL(resp), nil
+}
+
+// FixExecution asks the model to repair a DBMS error.
+func (o *HTTPOracle) FixExecution(templateSQL string, dbmsError string, req GenerateRequest) (string, error) {
+	resp, err := o.complete(buildFixExecutionPrompt(templateSQL, dbmsError))
+	if err != nil {
+		return "", err
+	}
+	return ExtractSQL(resp), nil
+}
+
+// RefineTemplate asks the model for a cost-targeted template variant.
+func (o *HTTPOracle) RefineTemplate(req RefineRequest) (string, error) {
+	resp, err := o.complete(buildRefinePrompt(req))
+	if err != nil {
+		return "", err
+	}
+	return ExtractSQL(resp), nil
+}

@@ -1,0 +1,179 @@
+package llm
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"sqlbarber/internal/datagen"
+	"sqlbarber/internal/spec"
+	"sqlbarber/internal/stats"
+)
+
+// stubServer mimics an OpenAI-compatible chat endpoint, answering with a
+// canned completion and usage numbers.
+func stubServer(t *testing.T, reply func(prompt string) string) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/chat/completions" {
+			http.NotFound(w, r)
+			return
+		}
+		if got := r.Header.Get("Authorization"); got != "Bearer test-key" {
+			http.Error(w, `{"error":{"message":"bad key"}}`, http.StatusUnauthorized)
+			return
+		}
+		var req chatRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		content := reply(req.Messages[0].Content)
+		resp := map[string]any{
+			"choices": []map[string]any{{"message": map[string]any{"role": "assistant", "content": content}}},
+			"usage":   map[string]any{"prompt_tokens": 120, "completion_tokens": 40},
+		}
+		json.NewEncoder(w).Encode(resp)
+	}))
+}
+
+func TestHTTPOracleGenerateTemplate(t *testing.T) {
+	srv := stubServer(t, func(prompt string) string {
+		if !strings.Contains(prompt, "schema summary") {
+			t.Errorf("prompt missing schema context")
+		}
+		return "Sure! Here is the template:\n```sql\nSELECT o_orderkey FROM orders WHERE o_totalprice > {p_1}\n```\nHope this helps."
+	})
+	defer srv.Close()
+	o := NewHTTPOracle(srv.URL, "test-key", "o3-mini")
+	db := datagen.TPCH(1, 0.05)
+	paths := db.Schema.JoinPaths(0, 4)
+	sql, err := o.GenerateTemplate(GenerateRequest{Schema: db.Schema, JoinPath: paths[0], Spec: spec.Spec{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sql != "SELECT o_orderkey FROM orders WHERE o_totalprice > {p_1}" {
+		t.Fatalf("extracted SQL: %q", sql)
+	}
+	if o.Ledger().PromptTokens() != 120 || o.Ledger().CompletionTokens() != 40 {
+		t.Fatalf("usage not recorded: %d/%d", o.Ledger().PromptTokens(), o.Ledger().CompletionTokens())
+	}
+}
+
+func TestHTTPOracleValidateSemantics(t *testing.T) {
+	srv := stubServer(t, func(prompt string) string {
+		return `The template has too many joins. {"satisfied": false, "violations": ["expected 0 joins"]}`
+	})
+	defer srv.Close()
+	o := NewHTTPOracle(srv.URL, "test-key", "")
+	ok, viol, err := o.ValidateSemantics("SELECT 1 FROM t", spec.Spec{NumJoins: spec.Int(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || len(viol) != 1 || viol[0] != "expected 0 joins" {
+		t.Fatalf("verdict: %v %v", ok, viol)
+	}
+}
+
+func TestHTTPOracleUnstructuredJudgment(t *testing.T) {
+	srv := stubServer(t, func(string) string { return "I think it is probably fine?" })
+	defer srv.Close()
+	o := NewHTTPOracle(srv.URL, "test-key", "")
+	ok, viol, err := o.ValidateSemantics("SELECT 1 FROM t", spec.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || len(viol) == 0 {
+		t.Fatal("unstructured judgment must degrade to unsatisfied with a reason")
+	}
+}
+
+func TestHTTPOracleRetriesTransientErrors(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"choices": []map[string]any{{"message": map[string]any{"role": "assistant", "content": "SELECT 1 FROM t"}}},
+		})
+	}))
+	defer srv.Close()
+	o := NewHTTPOracle(srv.URL, "", "")
+	req := RefineRequest{Schema: datagen.TPCH(1, 0.01).Schema, TemplateSQL: "SELECT 1 FROM t",
+		Target: stats.Interval{Lo: 0, Hi: 10}}
+	sql, err := o.RefineTemplate(req)
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if sql != "SELECT 1 FROM t" || hits.Load() != 2 {
+		t.Fatalf("sql=%q hits=%d", sql, hits.Load())
+	}
+}
+
+func TestHTTPOracleFatalErrorsDoNotRetry(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":{"message":"invalid model"}}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	o := NewHTTPOracle(srv.URL, "", "")
+	db := datagen.TPCH(1, 0.01)
+	_, err := o.FixExecution("SELECT 1", "syntax error", GenerateRequest{Schema: db.Schema})
+	if err == nil {
+		t.Fatal("fatal status must error")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("fatal status retried: %d hits", hits.Load())
+	}
+}
+
+func TestExtractSQLVariants(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"```sql\nSELECT a FROM t\n```", "SELECT a FROM t"},
+		{"```\nSELECT a FROM t\n```", "SELECT a FROM t"},
+		{"Here you go: SELECT a FROM t;", "SELECT a FROM t"},
+		{"select a from t", "select a from t"},
+		{"no sql here", "no sql here"},
+		{"prose\n```sql\nSELECT b FROM s WHERE x > {p_1}\n```\ntrailer", "SELECT b FROM s WHERE x > {p_1}"},
+	}
+	for _, c := range cases {
+		if got := ExtractSQL(c.in); got != c.want {
+			t.Errorf("ExtractSQL(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestHTTPOracleDrivesGeneratorEndToEnd wires the HTTP oracle (backed by a
+// stub that answers with valid synthesized SQL) through Algorithm 1.
+func TestHTTPOracleDrivesGeneratorEndToEnd(t *testing.T) {
+	db := datagen.TPCH(6, 0.05)
+	// The stub delegates to SimLLM's synthesizer so responses are realistic.
+	sim := NewSim(Perfect(6))
+	paths := db.Schema.JoinPaths(1, 4)
+	s := spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)}
+	srv := stubServer(t, func(prompt string) string {
+		sql, _ := sim.GenerateTemplate(GenerateRequest{Schema: db.Schema, JoinPath: paths[0], Spec: s})
+		if strings.Contains(prompt, "Judge whether") {
+			return `{"satisfied": true, "violations": []}`
+		}
+		return "```sql\n" + sql + "\n```"
+	})
+	defer srv.Close()
+	o := NewHTTPOracle(srv.URL, "test-key", "")
+	sql, err := o.GenerateTemplate(GenerateRequest{Schema: db.Schema, JoinPath: paths[0], Spec: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _, err := o.ValidateSemantics(sql, s)
+	if err != nil || !ok {
+		t.Fatalf("validate: %v %v", ok, err)
+	}
+}

@@ -1,0 +1,244 @@
+package llm
+
+import (
+	"math/rand"
+
+	"sqlbarber/internal/catalog"
+	"strings"
+	"testing"
+
+	"sqlbarber/internal/datagen"
+	"sqlbarber/internal/plan"
+	"sqlbarber/internal/spec"
+	"sqlbarber/internal/sqlparser"
+	"sqlbarber/internal/sqltemplate"
+	"sqlbarber/internal/stats"
+)
+
+func TestSynthesizePerfectSatisfiesSpecs(t *testing.T) {
+	db := datagen.TPCH(3, 0.05)
+	rng := rand.New(rand.NewSource(3))
+	// Sweep a broad grid of specifications; clean synthesis must always
+	// parse, bind, and satisfy the spec.
+	for joins := 0; joins <= 2; joins++ {
+		paths := db.Schema.JoinPaths(joins, 16)
+		if len(paths) == 0 {
+			t.Fatalf("no %d-join paths", joins)
+		}
+		for aggs := 0; aggs <= 2; aggs++ {
+			for preds := 1; preds <= 3; preds++ {
+				for _, nested := range []bool{false, true} {
+					for _, groupBy := range []bool{false, true} {
+						s := spec.Spec{
+							NumJoins:        spec.Int(joins),
+							NumAggregations: spec.Int(aggs),
+							NumPredicates:   spec.Int(preds),
+							NestedQuery:     spec.Bool(nested),
+							GroupBy:         spec.Bool(groupBy),
+						}
+						path := paths[rng.Intn(len(paths))]
+						sql := synthesize(synthOptions{schema: db.Schema, path: path, spec: s, rng: rng})
+						tm, err := sqltemplate.Parse(sql)
+						if err != nil {
+							t.Fatalf("spec %+v: unparseable %q: %v", s.Describe(), sql, err)
+						}
+						if ok, viol := s.Check(tm.Features()); !ok {
+							t.Fatalf("spec violated: %v\nspec: %s\nsql: %s", viol, s.Describe(), sql)
+						}
+						// Bind against the engine (placeholders -> 0).
+						probe := strings.NewReplacer("{", "", "}", "").Replace(sql)
+						_ = probe
+						stmt, err := sqlparser.Parse(sql)
+						if err != nil {
+							t.Fatal(err)
+						}
+						probeSQL := placeholderProbe(stmt.SQL())
+						pstmt, err := sqlparser.Parse(probeSQL)
+						if err != nil {
+							t.Fatalf("probe parse: %v\n%s", err, probeSQL)
+						}
+						if _, err := plan.Build(db.Schema, pstmt); err != nil {
+							t.Fatalf("probe bind: %v\n%s", err, sql)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func placeholderProbe(sql string) string {
+	out := sql
+	for strings.Contains(out, "{") {
+		i := strings.Index(out, "{")
+		j := strings.Index(out[i:], "}")
+		if j < 0 {
+			break
+		}
+		out = out[:i] + "0" + out[i+j+1:]
+	}
+	return out
+}
+
+func TestCorruptBreaksSQL(t *testing.T) {
+	db := datagen.TPCH(5, 0.05)
+	rng := rand.New(rand.NewSource(5))
+	paths := db.Schema.JoinPaths(1, 8)
+	broken := 0
+	total := 60
+	for i := 0; i < total; i++ {
+		s := spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)}
+		sql := synthesize(synthOptions{schema: db.Schema, path: paths[i%len(paths)], spec: s, rng: rng, breakSyntax: true})
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			broken++
+			continue
+		}
+		probe, err := sqlparser.Parse(placeholderProbe(stmt.SQL()))
+		if err != nil {
+			broken++
+			continue
+		}
+		if _, err := plan.Build(db.Schema, probe); err != nil {
+			broken++
+		}
+	}
+	if broken < total*3/4 {
+		t.Fatalf("corrupt() broke only %d/%d templates", broken, total)
+	}
+}
+
+func TestSimLLMLifecycle(t *testing.T) {
+	db := datagen.TPCH(7, 0.05)
+	sim := NewSim(SimOptions{Seed: 7})
+	paths := db.Schema.JoinPaths(1, 8)
+	s := spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)}
+	req := GenerateRequest{Schema: db.Schema, JoinPath: paths[0], Spec: s}
+	sql, err := sim.GenerateTemplate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sql == "" {
+		t.Fatal("empty generation")
+	}
+	if sim.Ledger().Calls() != 1 || sim.Ledger().PromptTokens() == 0 || sim.Ledger().CompletionTokens() == 0 {
+		t.Fatal("ledger not charged")
+	}
+
+	ok, viol, err := sim.ValidateSemantics(sql, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		fixed, err := sim.FixSemantics(sql, s, viol, req)
+		if err != nil || fixed == "" {
+			t.Fatalf("fix semantics: %v", err)
+		}
+	}
+	if _, err := sim.FixExecution(sql, "syntax error at or near position 3", req); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateSemanticsJudgesCorrectly(t *testing.T) {
+	db := datagen.TPCH(9, 0.05)
+	sim := NewSim(Perfect(9))
+	s := spec.Spec{NumJoins: spec.Int(0), NumPredicates: spec.Int(1)}
+	good := "SELECT o_orderkey FROM orders WHERE o_totalprice > {p_1}"
+	ok, _, err := sim.ValidateSemantics(good, s)
+	if err != nil || !ok {
+		t.Fatalf("good template judged bad: %v", err)
+	}
+	bad := "SELECT o_orderkey FROM orders AS a JOIN customer AS c ON a.o_custkey = c.c_custkey WHERE a.o_totalprice > {p_1}"
+	ok, viol, err := sim.ValidateSemantics(bad, s)
+	if err != nil || ok {
+		t.Fatalf("bad template judged good")
+	}
+	if len(viol) == 0 {
+		t.Fatal("no violations reported")
+	}
+	ok, viol, _ = sim.ValidateSemantics("NOT SQL AT ALL", s)
+	if ok || len(viol) == 0 {
+		t.Fatal("garbage must be judged invalid")
+	}
+	_ = db
+}
+
+func TestRefineTemplateMovesTowardTarget(t *testing.T) {
+	db := datagen.TPCH(11, 0.2)
+	sim := NewSim(Perfect(11))
+	s := spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)}
+	// A template over small tables with low observed costs; ask for higher.
+	low := "SELECT t0.n_nationkey FROM nation AS t0 JOIN region AS t1 ON t0.n_regionkey = t1.r_regionkey WHERE t0.n_nationkey > {p_1} AND t1.r_regionkey > {p_2}"
+	newSQL, err := sim.RefineTemplate(RefineRequest{
+		Schema:      db.Schema,
+		TemplateSQL: low,
+		Spec:        s,
+		Costs:       []float64{5, 10, 20},
+		Target:      stats.Interval{Lo: 4000, Hi: 5000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := sqltemplate.Parse(low)
+	next, err := sqltemplate.Parse(newSQL)
+	if err != nil {
+		t.Fatalf("refined template unparseable: %v\n%s", err, newSQL)
+	}
+	if ok, viol := s.Check(next.Features()); !ok {
+		t.Fatalf("refinement violated spec: %v", viol)
+	}
+	curScore := pathScore(db.Schema, catalogPath(templateTables(cur)))
+	nextScore := pathScore(db.Schema, catalogPath(templateTables(next)))
+	if nextScore <= curScore {
+		t.Fatalf("refinement did not move to larger tables: %.1f -> %.1f\n%s", curScore, nextScore, newSQL)
+	}
+}
+
+func catalogPath(tables []string) catalog.JoinPath {
+	return catalog.JoinPath{Tables: tables}
+}
+
+func TestTokenCounting(t *testing.T) {
+	if CountTokens("") != 0 {
+		t.Error("empty string tokens")
+	}
+	if CountTokens("abcd") != 1 || CountTokens("abcde") != 2 {
+		t.Error("token approximation")
+	}
+}
+
+func TestLedgerPricing(t *testing.T) {
+	var l Ledger
+	l.Record(strings.Repeat("a", 4_000_000), strings.Repeat("b", 4_000_000))
+	// 1M input tokens = $1.10; 1M output = $4.40.
+	if got := l.CostUSD(); got < 5.49 || got > 5.51 {
+		t.Fatalf("cost = %v, want 5.50", got)
+	}
+	l.Reset()
+	if l.TotalTokens() != 0 || l.Calls() != 0 {
+		t.Fatal("reset")
+	}
+}
+
+func TestPromptsContainContext(t *testing.T) {
+	db := datagen.TPCH(1, 0.05)
+	paths := db.Schema.JoinPaths(1, 4)
+	s := spec.FromNaturalLanguage("include a nested subquery and 2 predicate values")
+	p := buildGeneratePrompt(GenerateRequest{Schema: db.Schema, JoinPath: paths[0], Spec: s})
+	for _, want := range []string{"schema summary", "join path", "nested subquery", "placeholders"} {
+		if !strings.Contains(strings.ToLower(p), want) {
+			t.Errorf("generate prompt missing %q", want)
+		}
+	}
+	rp := buildRefinePrompt(RefineRequest{
+		Schema: db.Schema, TemplateSQL: "SELECT 1 FROM orders", Spec: s,
+		Costs: []float64{10, 400}, Target: stats.Interval{Lo: 1000, Hi: 2000},
+		History: []RefineAttempt{{TemplateSQL: "SELECT 2 FROM orders", MinCost: 1, MaxCost: 2}},
+	})
+	for _, want := range []string{"[1000, 2000)", "few-shot history", "Attempt 1"} {
+		if !strings.Contains(rp, want) {
+			t.Errorf("refine prompt missing %q", want)
+		}
+	}
+}

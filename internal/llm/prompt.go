@@ -1,0 +1,84 @@
+package llm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Prompt builders (§4 Step 3). SimLLM does not literally parse these — it
+// receives structured arguments — but the prompts are constructed exactly as
+// a hosted-LLM deployment would send them, and they are what the token
+// ledger meters, so the Table 2 cost study reflects realistic prompt sizes.
+
+func buildGeneratePrompt(req GenerateRequest) string {
+	var b strings.Builder
+	b.WriteString("You are an expert SQL engineer. Generate ONE SQL template for the database below.\n")
+	b.WriteString("Use {p_1}, {p_2}, ... as placeholders for predicate values.\n\n")
+	b.WriteString(req.Schema.Summary(req.JoinPath.Tables))
+	if len(req.JoinPath.Edges) > 0 {
+		b.WriteString("\nUse this join path:\n")
+		for _, e := range req.JoinPath.Edges {
+			fmt.Fprintf(&b, "  %s\n", e.String())
+		}
+	}
+	b.WriteString("\nRequirements: ")
+	b.WriteString(req.Spec.Describe())
+	for _, ins := range req.Spec.Instructions {
+		b.WriteString("\nInstruction: " + ins)
+	}
+	b.WriteString("\nReturn only the SQL template.\n")
+	return b.String()
+}
+
+func buildValidatePrompt(templateSQL string, specText string) string {
+	return "Judge whether the following SQL template satisfies the specification. " +
+		"List every violation and explain your reasoning.\n\nSpecification: " +
+		specText + "\n\nTemplate:\n" + templateSQL + "\n"
+}
+
+func buildFixSemanticsPrompt(templateSQL string, specText string, violations []string) string {
+	return "The SQL template below violates its specification. Rewrite it so every violation is fixed. " +
+		"Keep the {p_i} placeholder style.\n\nSpecification: " + specText +
+		"\n\nViolations:\n- " + strings.Join(violations, "\n- ") +
+		"\n\nTemplate:\n" + templateSQL + "\nReturn only the corrected SQL template.\n"
+}
+
+func buildFixExecutionPrompt(templateSQL string, dbmsError string) string {
+	return "The SQL template below fails on the target database. Fix it using the error message. " +
+		"Keep the {p_i} placeholder style.\n\nDBMS error: " + dbmsError +
+		"\n\nTemplate:\n" + templateSQL + "\nReturn only the corrected SQL template.\n"
+}
+
+func buildRefinePrompt(req RefineRequest) string {
+	var b strings.Builder
+	b.WriteString("The SQL template below produces queries with the observed costs. ")
+	fmt.Fprintf(&b, "Rewrite it into a NEW template whose instantiations can reach costs in the interval [%.0f, %.0f). ", req.Target.Lo, req.Target.Hi)
+	b.WriteString("You may change tables, joins, and predicate structure but must preserve the specification.\n\n")
+	b.WriteString("Specification: " + req.Spec.Describe() + "\n")
+	if len(req.Costs) > 0 {
+		lo, hi := req.Costs[0], req.Costs[0]
+		for _, c := range req.Costs {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		fmt.Fprintf(&b, "Observed cost range of the template: [%.0f, %.0f] over %d probes.\n", lo, hi, len(req.Costs))
+	}
+	b.WriteString("Template:\n" + req.TemplateSQL + "\n")
+	if len(req.History) > 0 {
+		b.WriteString("\nPrevious refinement attempts for this interval (few-shot history):\n")
+		for i, h := range req.History {
+			status := "missed the interval"
+			if h.Hit {
+				status = "hit the interval"
+			}
+			fmt.Fprintf(&b, "Attempt %d (%s, costs %.0f..%.0f):\n%s\n", i+1, status, h.MinCost, h.MaxCost, h.TemplateSQL)
+		}
+		b.WriteString("Avoid repeating failed structures.\n")
+	}
+	b.WriteString("Return only the new SQL template.\n")
+	return b.String()
+}

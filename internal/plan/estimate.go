@@ -1,0 +1,324 @@
+package plan
+
+import (
+	"strings"
+
+	"sqlbarber/internal/catalog"
+	"sqlbarber/internal/sqlparser"
+	"sqlbarber/internal/sqltypes"
+)
+
+// Default selectivities, following PostgreSQL's conventions.
+const (
+	defaultEqSel     = 0.005
+	defaultIneqSel   = 0.3333333333333333
+	defaultLikeSel   = 0.05
+	defaultInSubSel  = 0.3
+	defaultExistsSel = 0.5
+)
+
+// tablesOf returns the set of level-0 table indexes an expression touches.
+// Correlated references to outer scopes and subqueries do not count.
+func (b *Binding) tablesOf(e sqlparser.Expr) map[int]bool {
+	out := map[int]bool{}
+	var visit func(e sqlparser.Expr)
+	visit = func(e sqlparser.Expr) {
+		if e == nil {
+			return
+		}
+		switch t := e.(type) {
+		case *sqlparser.ColumnRef:
+			if ref, ok := b.Cols[t]; ok && ref.Level == 0 {
+				out[ref.TableIdx] = true
+			}
+		case *sqlparser.BinaryExpr:
+			visit(t.L)
+			visit(t.R)
+		case *sqlparser.UnaryExpr:
+			visit(t.X)
+		case *sqlparser.FuncCall:
+			for _, a := range t.Args {
+				visit(a)
+			}
+		case *sqlparser.CaseExpr:
+			for _, w := range t.Whens {
+				visit(w.Cond)
+				visit(w.Result)
+			}
+			visit(t.Else)
+		case *sqlparser.InExpr:
+			visit(t.X)
+			for _, it := range t.List {
+				visit(it)
+			}
+		case *sqlparser.ExistsExpr:
+		case *sqlparser.BetweenExpr:
+			visit(t.X)
+			visit(t.Lo)
+			visit(t.Hi)
+		case *sqlparser.LikeExpr:
+			visit(t.X)
+			visit(t.Pattern)
+		case *sqlparser.IsNullExpr:
+			visit(t.X)
+		}
+	}
+	visit(e)
+	return out
+}
+
+// column returns the catalog column a pure column reference resolves to at
+// level 0, or nil for anything more complex.
+func (b *Binding) column(e sqlparser.Expr) *catalog.Column {
+	cr, ok := e.(*sqlparser.ColumnRef)
+	if !ok {
+		return nil
+	}
+	ref, ok := b.Cols[cr]
+	if !ok || ref.Level != 0 {
+		return nil
+	}
+	return &b.Scope.Tables[ref.TableIdx].Table.Columns[ref.ColIdx]
+}
+
+// constValue extracts a literal constant, or ok=false.
+func constValue(e sqlparser.Expr) (sqltypes.Value, bool) {
+	if lit, ok := e.(*sqlparser.Literal); ok {
+		return lit.Value, true
+	}
+	if u, ok := e.(*sqlparser.UnaryExpr); ok && u.Op == "-" {
+		if v, ok := constValue(u.X); ok && v.IsNumeric() {
+			return v.Neg(), true
+		}
+	}
+	return sqltypes.Null, false
+}
+
+// Selectivity estimates the fraction of rows satisfying a boolean
+// expression, using column statistics where the shape allows.
+func (b *Binding) Selectivity(e sqlparser.Expr) float64 {
+	switch t := e.(type) {
+	case *sqlparser.BinaryExpr:
+		switch t.Op {
+		case sqlparser.OpAnd:
+			return clamp01(b.Selectivity(t.L) * b.Selectivity(t.R))
+		case sqlparser.OpOr:
+			sl, sr := b.Selectivity(t.L), b.Selectivity(t.R)
+			return clamp01(sl + sr - sl*sr)
+		case sqlparser.OpEq, sqlparser.OpNe, sqlparser.OpLt, sqlparser.OpLe, sqlparser.OpGt, sqlparser.OpGe:
+			return b.comparisonSel(t)
+		}
+		return defaultIneqSel
+	case *sqlparser.UnaryExpr:
+		if t.Op == "NOT" {
+			return clamp01(1 - b.Selectivity(t.X))
+		}
+		return defaultIneqSel
+	case *sqlparser.BetweenExpr:
+		col := b.column(t.X)
+		lo, okLo := constValue(t.Lo)
+		hi, okHi := constValue(t.Hi)
+		if col != nil && okLo && okHi {
+			s := b.rangeSel(col, lo, sqlparser.OpGe) + b.rangeSel(col, hi, sqlparser.OpLe) - 1
+			if t.Not {
+				s = 1 - s
+			}
+			return clamp01(s)
+		}
+		if t.Not {
+			return clamp01(1 - defaultIneqSel*defaultIneqSel)
+		}
+		return defaultIneqSel * defaultIneqSel
+	case *sqlparser.InExpr:
+		if t.Sub != nil {
+			if t.Not {
+				return clamp01(1 - defaultInSubSel)
+			}
+			return defaultInSubSel
+		}
+		col := b.column(t.X)
+		s := 0.0
+		for _, item := range t.List {
+			if v, ok := constValue(item); ok && col != nil {
+				s += b.eqSel(col, v)
+			} else {
+				s += defaultEqSel
+			}
+		}
+		s = clamp01(s)
+		if t.Not {
+			return clamp01(1 - s)
+		}
+		return s
+	case *sqlparser.ExistsExpr:
+		if t.Not {
+			return clamp01(1 - defaultExistsSel)
+		}
+		return defaultExistsSel
+	case *sqlparser.LikeExpr:
+		s := defaultLikeSel
+		if v, ok := constValue(t.Pattern); ok && v.Kind() == sqltypes.KindString {
+			pat := v.Str()
+			if strings.HasPrefix(pat, "%") {
+				s = 0.1
+			}
+			if !strings.ContainsAny(pat, "%_") {
+				// Pattern with no wildcards behaves like equality.
+				if col := b.column(t.X); col != nil {
+					s = b.eqSel(col, v)
+				} else {
+					s = defaultEqSel
+				}
+			}
+		}
+		if t.Not {
+			return clamp01(1 - s)
+		}
+		return s
+	case *sqlparser.IsNullExpr:
+		col := b.column(t.X)
+		nf := 0.01
+		if col != nil {
+			nf = col.Stats.NullFrac
+		}
+		if t.Not {
+			return clamp01(1 - nf)
+		}
+		return clamp01(nf)
+	case *sqlparser.Literal:
+		if t.Value.Kind() == sqltypes.KindBool {
+			if t.Value.Bool() {
+				return 1
+			}
+			return 0
+		}
+	}
+	return defaultIneqSel
+}
+
+func (b *Binding) comparisonSel(e *sqlparser.BinaryExpr) float64 {
+	// Normalize to column-op-const orientation when possible.
+	col := b.column(e.L)
+	val, okV := constValue(e.R)
+	op := e.Op
+	if col == nil {
+		col = b.column(e.R)
+		val, okV = constValue(e.L)
+		op = flipOp(op)
+	}
+	if col == nil || !okV {
+		// column op column or expression comparison
+		if op == sqlparser.OpEq {
+			return defaultEqSel
+		}
+		return defaultIneqSel
+	}
+	switch op {
+	case sqlparser.OpEq:
+		return b.eqSel(col, val)
+	case sqlparser.OpNe:
+		return clamp01(1 - b.eqSel(col, val))
+	default:
+		return b.rangeSel(col, val, op)
+	}
+}
+
+func flipOp(op sqlparser.BinaryOp) sqlparser.BinaryOp {
+	switch op {
+	case sqlparser.OpLt:
+		return sqlparser.OpGt
+	case sqlparser.OpLe:
+		return sqlparser.OpGe
+	case sqlparser.OpGt:
+		return sqlparser.OpLt
+	case sqlparser.OpGe:
+		return sqlparser.OpLe
+	}
+	return op
+}
+
+// eqSel estimates equality selectivity from MCVs and ndistinct.
+func (b *Binding) eqSel(col *catalog.Column, v sqltypes.Value) float64 {
+	st := &col.Stats
+	mcvTotal := 0.0
+	for _, mv := range st.MostCommon {
+		if mv.Value.Equal(v) {
+			return mv.Freq
+		}
+		mcvTotal += mv.Freq
+	}
+	rest := float64(st.NDistinct - len(st.MostCommon))
+	if rest <= 0 {
+		return defaultEqSel
+	}
+	return clamp01((1 - mcvTotal - st.NullFrac) / rest)
+}
+
+// rangeSel estimates range selectivity using the histogram when present,
+// falling back to linear interpolation between min and max.
+func (b *Binding) rangeSel(col *catalog.Column, v sqltypes.Value, op sqlparser.BinaryOp) float64 {
+	st := &col.Stats
+	if !v.IsNumeric() || st.Min.IsNull() || !st.Min.IsNumeric() {
+		return defaultIneqSel
+	}
+	x := v.Float()
+	var fracBelow float64 // P(col < x)
+	if len(st.Histogram) >= 2 {
+		fracBelow = histogramFraction(st.Histogram, x)
+	} else {
+		lo, hi := st.Min.Float(), st.Max.Float()
+		switch {
+		case x <= lo:
+			fracBelow = 0
+		case x >= hi:
+			fracBelow = 1
+		default:
+			fracBelow = (x - lo) / (hi - lo)
+		}
+	}
+	notNull := 1 - st.NullFrac
+	switch op {
+	case sqlparser.OpLt:
+		return clamp01(fracBelow * notNull)
+	case sqlparser.OpLe:
+		return clamp01((fracBelow + b.eqSel(col, v)) * notNull)
+	case sqlparser.OpGt:
+		return clamp01((1 - fracBelow - b.eqSel(col, v)) * notNull)
+	case sqlparser.OpGe:
+		return clamp01((1 - fracBelow) * notNull)
+	}
+	return defaultIneqSel
+}
+
+// histogramFraction returns the fraction of values strictly below x given
+// equi-depth bucket boundaries.
+func histogramFraction(bounds []float64, x float64) float64 {
+	n := len(bounds) - 1
+	if x <= bounds[0] {
+		return 0
+	}
+	if x >= bounds[n] {
+		return 1
+	}
+	for i := 0; i < n; i++ {
+		if x < bounds[i+1] || i == n-1 && x <= bounds[i+1] {
+			lo, hi := bounds[i], bounds[i+1]
+			within := 0.0
+			if hi > lo {
+				within = (x - lo) / (hi - lo)
+			}
+			return (float64(i) + within) / float64(n)
+		}
+	}
+	return 1
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	}
+	return x
+}

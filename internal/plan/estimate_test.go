@@ -1,0 +1,239 @@
+package plan
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"sqlbarber/internal/catalog"
+	"sqlbarber/internal/datagen"
+	"sqlbarber/internal/sqlparser"
+)
+
+// sel plans a single-table orders query and returns the estimated
+// selectivity of its WHERE clause.
+func sel(t *testing.T, where string) float64 {
+	t.Helper()
+	q := buildQuery(t, "SELECT o_orderkey FROM orders WHERE "+where)
+	total := buildQuery(t, "SELECT o_orderkey FROM orders").EstimatedRows()
+	return q.Root.Rows() / total
+}
+
+func TestSelectivityEqualityViaMCV(t *testing.T) {
+	// o_orderstatus has 3 roughly equally frequent values -> each ~1/3.
+	s := sel(t, "o_orderstatus = 'F'")
+	if s < 0.2 || s > 0.5 {
+		t.Fatalf("status equality selectivity %.3f, want ~1/3", s)
+	}
+}
+
+func TestSelectivityInList(t *testing.T) {
+	one := sel(t, "o_orderstatus IN ('F')")
+	two := sel(t, "o_orderstatus IN ('F', 'O')")
+	if two <= one {
+		t.Fatalf("IN list selectivity must grow: %.3f vs %.3f", one, two)
+	}
+	notTwo := sel(t, "o_orderstatus NOT IN ('F', 'O')")
+	if notTwo+two < 0.9 || notTwo+two > 1.1 {
+		t.Fatalf("NOT IN complement: %.3f + %.3f should be ~1", notTwo, two)
+	}
+}
+
+func TestSelectivityBetween(t *testing.T) {
+	narrow := sel(t, "o_orderkey BETWEEN 100 AND 200")
+	wide := sel(t, "o_orderkey BETWEEN 100 AND 600")
+	if narrow >= wide {
+		t.Fatalf("BETWEEN widths: %.3f vs %.3f", narrow, wide)
+	}
+	not := sel(t, "o_orderkey NOT BETWEEN 100 AND 600")
+	if not+wide < 0.9 || not+wide > 1.1 {
+		t.Fatalf("NOT BETWEEN complement: %.3f + %.3f", not, wide)
+	}
+}
+
+func TestSelectivityLikePatterns(t *testing.T) {
+	exact := sel(t, "o_orderstatus LIKE 'F'") // no wildcards -> equality
+	if exact < 0.2 || exact > 0.5 {
+		t.Fatalf("wildcard-free LIKE should estimate as equality: %.3f", exact)
+	}
+	prefix := sel(t, "o_orderpriority LIKE '1-%'")
+	infix := sel(t, "o_orderpriority LIKE '%URGENT%'")
+	if prefix <= 0 || infix <= 0 {
+		t.Fatal("LIKE selectivities must be positive")
+	}
+	notLike := sel(t, "o_orderpriority NOT LIKE '%URGENT%'")
+	if notLike <= infix {
+		t.Fatalf("NOT LIKE should exceed LIKE for a rare pattern: %.3f vs %.3f", notLike, infix)
+	}
+}
+
+func TestSelectivityIsNull(t *testing.T) {
+	isNull := sel(t, "o_totalprice IS NULL")
+	notNull := sel(t, "o_totalprice IS NOT NULL")
+	if isNull > 0.05 {
+		t.Fatalf("IS NULL on non-null column: %.3f", isNull)
+	}
+	if notNull < 0.9 {
+		t.Fatalf("IS NOT NULL on non-null column: %.3f", notNull)
+	}
+}
+
+func TestSelectivityBooleanLiterals(t *testing.T) {
+	if s := sel(t, "TRUE"); s < 0.95 {
+		t.Fatalf("WHERE TRUE selectivity %.3f", s)
+	}
+	// WHERE FALSE estimates ~0 (clamped to >= 1 row).
+	q := buildQuery(t, "SELECT o_orderkey FROM orders WHERE FALSE")
+	if q.Root.Rows() > 1.5 {
+		t.Fatalf("WHERE FALSE rows %.1f", q.Root.Rows())
+	}
+}
+
+func TestSelectivityFlippedComparison(t *testing.T) {
+	a := sel(t, "o_orderkey <= 375")
+	b := sel(t, "375 >= o_orderkey")
+	if a != b {
+		t.Fatalf("flipped comparison selectivity differs: %.4f vs %.4f", a, b)
+	}
+}
+
+func TestSelectivityColumnVsColumn(t *testing.T) {
+	s := sel(t, "o_orderkey = o_custkey")
+	if s <= 0 || s > 0.1 {
+		t.Fatalf("col=col default equality selectivity %.4f", s)
+	}
+	s2 := sel(t, "o_orderkey > o_custkey")
+	if s2 <= s {
+		t.Fatalf("inequality default must exceed equality default: %.4f vs %.4f", s2, s)
+	}
+}
+
+func TestSelectivityNotExpression(t *testing.T) {
+	base := sel(t, "o_orderkey <= 150")
+	not := sel(t, "NOT o_orderkey <= 150")
+	if base+not < 0.9 || base+not > 1.1 {
+		t.Fatalf("NOT complement: %.3f + %.3f", base, not)
+	}
+}
+
+func TestSelectivityInSubqueryDefaults(t *testing.T) {
+	in := sel(t, "o_custkey IN (SELECT c_custkey FROM customer WHERE c_acctbal > 0)")
+	if in < 0.25 || in > 0.35 {
+		t.Fatalf("IN-subquery default selectivity %.3f, want 0.3", in)
+	}
+	ex := sel(t, "EXISTS (SELECT 1 FROM customer)")
+	if ex < 0.45 || ex > 0.55 {
+		t.Fatalf("EXISTS default selectivity %.3f, want 0.5", ex)
+	}
+}
+
+func TestExplainRendersAllNodeKinds(t *testing.T) {
+	q := buildQuery(t, "SELECT DISTINCT o_orderstatus FROM orders WHERE o_custkey IN (SELECT c_custkey FROM customer WHERE c_acctbal > 100) ORDER BY o_orderstatus LIMIT 3")
+	text := q.Explain()
+	for _, want := range []string{"Limit 3", "Sort", "Unique", "Filter", "Seq Scan"} {
+		if !containsStr(text, want) {
+			t.Errorf("explain missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && indexOf(haystack, needle) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestSelectivityHistogramBounds(t *testing.T) {
+	// Values beyond the column range pin selectivity to 0 or 1.
+	lo := sel(t, "o_orderkey < -100")
+	hi := sel(t, "o_orderkey < 100000000")
+	if lo > 0.01 {
+		t.Fatalf("below-range selectivity %.4f", lo)
+	}
+	if hi < 0.99 {
+		t.Fatalf("above-range selectivity %.4f", hi)
+	}
+}
+
+func TestBindingAgainstIMDB(t *testing.T) {
+	db := datagen.IMDB(1, 0.05)
+	stmt, err := sqlparser.Parse("SELECT t.title, COUNT(*) FROM title AS t JOIN cast_info AS c ON t.id = c.movie_id GROUP BY t.title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Build(db.Schema, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.EstimatedRows() <= 0 || q.TotalCost() <= 0 {
+		t.Fatal("IMDB plan estimates must be positive")
+	}
+}
+
+// TestScanRowsBoundedProperty: for any range predicate on o_orderkey, the
+// scan estimate stays within [1, table rows].
+func TestScanRowsBoundedProperty(t *testing.T) {
+	db := datagen.TPCH(1, 0.05)
+	total := float64(db.Schema.Table("orders").RowCount)
+	f := func(cut int32, ge bool) bool {
+		op := "<="
+		if ge {
+			op = ">="
+		}
+		sql := fmt.Sprintf("SELECT o_orderkey FROM orders WHERE o_orderkey %s %d", op, cut)
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			return false
+		}
+		q, err := Build(db.Schema, stmt)
+		if err != nil {
+			return false
+		}
+		rows := q.EstimatedRows()
+		return rows >= 1 && rows <= total*1.01 && q.TotalCost() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComplementProperty: sel(P) + sel(NOT P) ≈ 1 for arbitrary range cuts.
+func TestComplementProperty(t *testing.T) {
+	db := datagen.TPCH(1, 0.05)
+	total := float64(db.Schema.Table("orders").RowCount)
+	f := func(raw uint16) bool {
+		cut := int(raw) % 900
+		pos, err := estRows(db.Schema, fmt.Sprintf("SELECT * FROM orders WHERE o_orderkey <= %d", cut))
+		if err != nil {
+			return false
+		}
+		neg, err := estRows(db.Schema, fmt.Sprintf("SELECT * FROM orders WHERE NOT o_orderkey <= %d", cut))
+		if err != nil {
+			return false
+		}
+		sum := pos + neg
+		return sum > total*0.9 && sum < total*1.1+2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func estRows(schema *catalog.Schema, sql string) (float64, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	q, err := Build(schema, stmt)
+	if err != nil {
+		return 0, err
+	}
+	return q.EstimatedRows(), nil
+}

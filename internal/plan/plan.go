@@ -1,0 +1,623 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sqlbarber/internal/catalog"
+	"sqlbarber/internal/sqlparser"
+)
+
+// Cost model constants, matching PostgreSQL's defaults.
+const (
+	seqPageCost       = 1.0
+	randomPageCost    = 4.0
+	cpuTupleCost      = 0.01
+	cpuIndexTupleCost = 0.005
+	cpuOperatorCost   = 0.0025
+	pageSize          = 8192
+)
+
+// Node is a physical plan operator with cardinality and cost estimates.
+type Node interface {
+	Rows() float64
+	Cost() float64
+	explain(b *strings.Builder, indent int)
+}
+
+type baseNode struct {
+	rows, cost float64
+}
+
+func (n *baseNode) Rows() float64 { return n.rows }
+func (n *baseNode) Cost() float64 { return n.cost }
+
+// ScanNode reads one table, applying pushed-down filters.
+type ScanNode struct {
+	baseNode
+	TableIdx int
+	Table    *catalog.Table
+	RefName  string
+	Filters  []sqlparser.Expr
+	UseIndex bool
+	IndexCol string
+}
+
+// JoinNode joins two subtrees; equi-joins hash, others nested-loop.
+type JoinNode struct {
+	baseNode
+	JoinType sqlparser.JoinType
+	Left     Node
+	Right    Node
+	// Equi-join key columns (valid when HasEqui).
+	HasEqui           bool
+	LeftKey, RightKey *sqlparser.ColumnRef
+	Extra             []sqlparser.Expr // residual ON conjuncts
+}
+
+// FilterNode applies residual predicates (multi-table or subquery) above the
+// join tree.
+type FilterNode struct {
+	baseNode
+	Input Node
+	Conds []sqlparser.Expr
+}
+
+// AggNode groups and aggregates.
+type AggNode struct {
+	baseNode
+	Input   Node
+	GroupBy []sqlparser.Expr
+	NumAggs int
+}
+
+// DistinctNode deduplicates output rows.
+type DistinctNode struct {
+	baseNode
+	Input Node
+}
+
+// SortNode orders output rows.
+type SortNode struct {
+	baseNode
+	Input Node
+}
+
+// LimitNode truncates output.
+type LimitNode struct {
+	baseNode
+	Input Node
+	N     int
+}
+
+// Query is a fully planned statement: binding, conjunct placement (shared
+// with the executor), the physical plan, and recursively planned subqueries.
+type Query struct {
+	Stmt    *sqlparser.SelectStmt
+	Binding *Binding
+	Root    Node
+	// ScanFilters[i] are the WHERE conjuncts pushed to table instance i.
+	ScanFilters [][]sqlparser.Expr
+	// Residual holds conjuncts evaluated after the join tree.
+	Residual []sqlparser.Expr
+	// JoinEqui[i] gives the extracted equi-key pair for join clause i (nil
+	// entries mean nested-loop).
+	JoinEqui []*EquiKeys
+	// JoinExtra[i] are residual ON conjuncts for join clause i.
+	JoinExtra [][]sqlparser.Expr
+	// Subplans holds the plan of each nested SELECT.
+	Subplans map[*sqlparser.SelectStmt]*Query
+}
+
+// EquiKeys is an extracted equi-join condition left.col = right.col.
+type EquiKeys struct {
+	Left, Right *sqlparser.ColumnRef
+}
+
+// EstimatedRows returns the estimated output cardinality of the query.
+func (q *Query) EstimatedRows() float64 { return q.Root.Rows() }
+
+// TotalCost returns the estimated total plan cost, including subquery plans.
+func (q *Query) TotalCost() float64 {
+	c := q.Root.Cost()
+	for _, sp := range q.Subplans {
+		c += sp.TotalCost()
+	}
+	return c
+}
+
+// Build binds and plans a statement against the schema.
+func Build(schema *catalog.Schema, stmt *sqlparser.SelectStmt) (*Query, error) {
+	return buildWithParent(schema, stmt, nil)
+}
+
+func buildWithParent(schema *catalog.Schema, stmt *sqlparser.SelectStmt, parent *Scope) (*Query, error) {
+	b, err := Bind(schema, stmt, parent)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{
+		Stmt:     stmt,
+		Binding:  b,
+		Subplans: map[*sqlparser.SelectStmt]*Query{},
+	}
+	// Plan subqueries first (they contribute cost once each).
+	for sub, sb := range b.Subqueries {
+		sq, err := buildWithParent(schema, sub, sb.Scope.Parent)
+		if err != nil {
+			return nil, err
+		}
+		q.Subplans[sub] = sq
+	}
+	q.placeConjuncts()
+	q.buildTree()
+	return q, nil
+}
+
+// conjuncts flattens an AND tree.
+func conjuncts(e sqlparser.Expr) []sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	if be, ok := e.(*sqlparser.BinaryExpr); ok && be.Op == sqlparser.OpAnd {
+		return append(conjuncts(be.L), conjuncts(be.R)...)
+	}
+	return []sqlparser.Expr{e}
+}
+
+// placeConjuncts classifies WHERE conjuncts into per-scan filters and
+// residual predicates, and extracts equi-keys from ON conditions.
+func (q *Query) placeConjuncts() {
+	n := len(q.Binding.Scope.Tables)
+	q.ScanFilters = make([][]sqlparser.Expr, n)
+	for _, c := range conjuncts(q.Stmt.Where) {
+		tables := q.Binding.tablesOf(c)
+		if len(tables) == 1 && !containsSubquery(c) {
+			pushed := false
+			for ti := range tables {
+				// A WHERE predicate must not be pushed below the nullable
+				// (right) side of a LEFT JOIN: null-extended rows would
+				// escape it. Table instance ti (ti >= 1) is introduced by
+				// join clause ti-1.
+				if ti >= 1 && q.Stmt.Joins[ti-1].Type == sqlparser.JoinLeft {
+					break
+				}
+				q.ScanFilters[ti] = append(q.ScanFilters[ti], c)
+				pushed = true
+			}
+			if pushed {
+				continue
+			}
+		}
+		q.Residual = append(q.Residual, c)
+	}
+	q.JoinEqui = make([]*EquiKeys, len(q.Stmt.Joins))
+	q.JoinExtra = make([][]sqlparser.Expr, len(q.Stmt.Joins))
+	for i, j := range q.Stmt.Joins {
+		// Tables available on the left side: instances 0..i; right side
+		// is instance i+1.
+		rightIdx := i + 1
+		for _, c := range conjuncts(j.On) {
+			if ek := q.extractEqui(c, rightIdx); ek != nil && q.JoinEqui[i] == nil {
+				q.JoinEqui[i] = ek
+				continue
+			}
+			q.JoinExtra[i] = append(q.JoinExtra[i], c)
+		}
+	}
+}
+
+func containsSubquery(e sqlparser.Expr) bool {
+	switch t := e.(type) {
+	case *sqlparser.InExpr:
+		if t.Sub != nil {
+			return true
+		}
+		for _, it := range t.List {
+			if containsSubquery(it) {
+				return true
+			}
+		}
+		return containsSubquery(t.X)
+	case *sqlparser.ExistsExpr:
+		return true
+	case *sqlparser.SubqueryExpr:
+		return true
+	case *sqlparser.BinaryExpr:
+		return containsSubquery(t.L) || containsSubquery(t.R)
+	case *sqlparser.UnaryExpr:
+		return containsSubquery(t.X)
+	case *sqlparser.BetweenExpr:
+		return containsSubquery(t.X) || containsSubquery(t.Lo) || containsSubquery(t.Hi)
+	case *sqlparser.LikeExpr:
+		return containsSubquery(t.X)
+	case *sqlparser.IsNullExpr:
+		return containsSubquery(t.X)
+	case *sqlparser.CaseExpr:
+		for _, w := range t.Whens {
+			if containsSubquery(w.Cond) || containsSubquery(w.Result) {
+				return true
+			}
+		}
+		return containsSubquery(t.Else)
+	case *sqlparser.FuncCall:
+		for _, a := range t.Args {
+			if containsSubquery(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// extractEqui recognizes `a.x = b.y` where one side lives in the tables
+// joined so far and the other in the newly joined table.
+func (q *Query) extractEqui(c sqlparser.Expr, rightIdx int) *EquiKeys {
+	be, ok := c.(*sqlparser.BinaryExpr)
+	if !ok || be.Op != sqlparser.OpEq {
+		return nil
+	}
+	lc, lok := be.L.(*sqlparser.ColumnRef)
+	rc, rok := be.R.(*sqlparser.ColumnRef)
+	if !lok || !rok {
+		return nil
+	}
+	lref, lin := q.Binding.Cols[lc]
+	rref, rin := q.Binding.Cols[rc]
+	if !lin || !rin || lref.Level != 0 || rref.Level != 0 {
+		return nil
+	}
+	switch {
+	case lref.TableIdx < rightIdx && rref.TableIdx == rightIdx:
+		return &EquiKeys{Left: lc, Right: rc}
+	case rref.TableIdx < rightIdx && lref.TableIdx == rightIdx:
+		return &EquiKeys{Left: rc, Right: lc}
+	}
+	return nil
+}
+
+// buildTree assembles the physical plan bottom-up with estimates.
+func (q *Query) buildTree() {
+	var node Node = q.buildScan(0)
+	for i := range q.Stmt.Joins {
+		right := q.buildScan(i + 1)
+		node = q.buildJoin(node, right, i)
+	}
+	if len(q.Residual) > 0 {
+		sel := 1.0
+		for _, c := range q.Residual {
+			sel *= q.Binding.Selectivity(c)
+		}
+		subCost := 0.0
+		for _, c := range q.Residual {
+			subCost += q.subqueryCostOf(c)
+		}
+		f := &FilterNode{Input: node, Conds: q.Residual}
+		f.rows = math.Max(1, node.Rows()*sel)
+		f.cost = node.Cost() + node.Rows()*cpuOperatorCost*float64(len(q.Residual)) + subCost
+		node = f
+	}
+	if IsAggregateQuery(q.Stmt) {
+		numAggs := q.countAggs()
+		a := &AggNode{Input: node, GroupBy: q.Stmt.GroupBy, NumAggs: numAggs}
+		groups := 1.0
+		if len(q.Stmt.GroupBy) > 0 {
+			groups = q.groupEstimate(node.Rows())
+		}
+		a.rows = groups
+		a.cost = node.Cost() +
+			node.Rows()*cpuOperatorCost*float64(numAggs+len(q.Stmt.GroupBy)+1) +
+			groups*cpuTupleCost
+		node = a
+		if q.Stmt.Having != nil {
+			f := &FilterNode{Input: node, Conds: []sqlparser.Expr{q.Stmt.Having}}
+			f.rows = math.Max(1, node.Rows()*defaultIneqSel)
+			f.cost = node.Cost() + node.Rows()*cpuOperatorCost
+			node = f
+		}
+	}
+	if q.Stmt.Distinct {
+		d := &DistinctNode{Input: node}
+		d.rows = node.Rows()
+		d.cost = node.Cost() + node.Rows()*cpuOperatorCost*2
+		node = d
+	}
+	if len(q.Stmt.OrderBy) > 0 {
+		s := &SortNode{Input: node}
+		s.rows = node.Rows()
+		s.cost = node.Cost() + sortCost(node.Rows())
+		node = s
+	}
+	if q.Stmt.Limit >= 0 {
+		l := &LimitNode{Input: node, N: q.Stmt.Limit}
+		l.rows = math.Min(node.Rows(), float64(q.Stmt.Limit))
+		l.cost = node.Cost()
+		node = l
+	}
+	q.Root = node
+}
+
+func sortCost(rows float64) float64 {
+	if rows < 2 {
+		return cpuOperatorCost
+	}
+	return 2 * rows * math.Log2(rows) * cpuOperatorCost
+}
+
+func (q *Query) countAggs() int {
+	n := 0
+	count := func(e sqlparser.Expr) {
+		if e == nil {
+			return
+		}
+		if containsAggregate(e) {
+			n++
+		}
+	}
+	for _, it := range q.Stmt.Items {
+		count(it.Expr)
+	}
+	count(q.Stmt.Having)
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// groupEstimate bounds the number of groups by the product of group-key
+// distinct counts, capped at input rows (PostgreSQL's heuristic).
+func (q *Query) groupEstimate(inRows float64) float64 {
+	prod := 1.0
+	for _, g := range q.Stmt.GroupBy {
+		if col := q.Binding.column(g); col != nil && col.Stats.NDistinct > 0 {
+			prod *= float64(col.Stats.NDistinct)
+		} else {
+			prod *= math.Max(1, inRows/10)
+		}
+		if prod > inRows {
+			return math.Max(1, inRows)
+		}
+	}
+	return math.Max(1, math.Min(prod, inRows))
+}
+
+func (q *Query) buildScan(tableIdx int) *ScanNode {
+	inst := q.Binding.Scope.Tables[tableIdx]
+	n := &ScanNode{
+		TableIdx: tableIdx,
+		Table:    inst.Table,
+		RefName:  inst.RefName,
+		Filters:  q.ScanFilters[tableIdx],
+	}
+	rows := float64(inst.Table.RowCount)
+	sel := 1.0
+	bestIdxSel := 1.0
+	bestIdxCol := ""
+	for _, f := range n.Filters {
+		s := q.Binding.Selectivity(f)
+		sel *= s
+		if col, ok := sargableIndexColumn(q.Binding, f); ok && s < bestIdxSel {
+			bestIdxSel = s
+			bestIdxCol = col
+		}
+	}
+	n.rows = math.Max(1, rows*sel)
+	pages := math.Max(1, float64(inst.Table.SizeBytes)/pageSize)
+	seqCost := pages*seqPageCost + rows*cpuTupleCost + rows*cpuOperatorCost*float64(len(n.Filters))
+	n.cost = seqCost
+	if bestIdxCol != "" && bestIdxSel < 0.2 && rows > 64 {
+		idxRows := math.Max(1, rows*bestIdxSel)
+		idxCost := math.Ceil(math.Log2(rows+1))*cpuOperatorCost*4 +
+			idxRows*(cpuIndexTupleCost+randomPageCost*pages/rows) +
+			idxRows*cpuOperatorCost*float64(len(n.Filters))
+		if idxCost < seqCost {
+			n.cost = idxCost
+			n.UseIndex = true
+			n.IndexCol = bestIdxCol
+		}
+	}
+	return n
+}
+
+// sargableIndexColumn reports an indexed column usable for an index scan
+// when the filter has the shape `col op const` (or BETWEEN) on it.
+func sargableIndexColumn(b *Binding, f sqlparser.Expr) (string, bool) {
+	var colExpr sqlparser.Expr
+	switch t := f.(type) {
+	case *sqlparser.BinaryExpr:
+		if !t.Op.IsComparison() {
+			return "", false
+		}
+		if _, ok := constValue(t.R); ok {
+			colExpr = t.L
+		} else if _, ok := constValue(t.L); ok {
+			colExpr = t.R
+		}
+	case *sqlparser.BetweenExpr:
+		colExpr = t.X
+	case *sqlparser.InExpr:
+		if t.Sub == nil {
+			colExpr = t.X
+		}
+	}
+	if colExpr == nil {
+		return "", false
+	}
+	col := b.column(colExpr)
+	if col == nil || !col.Indexed {
+		return "", false
+	}
+	return col.Name, true
+}
+
+func (q *Query) buildJoin(left Node, right *ScanNode, joinIdx int) Node {
+	j := &JoinNode{
+		JoinType: q.Stmt.Joins[joinIdx].Type,
+		Left:     left,
+		Right:    right,
+	}
+	lRows, rRows := left.Rows(), right.Rows()
+	extraSel := 1.0
+	for _, c := range q.JoinExtra[joinIdx] {
+		extraSel *= q.Binding.Selectivity(c)
+	}
+	if ek := q.JoinEqui[joinIdx]; ek != nil {
+		j.HasEqui = true
+		j.LeftKey, j.RightKey = ek.Left, ek.Right
+		ndL := q.keyDistinct(ek.Left)
+		ndR := q.keyDistinct(ek.Right)
+		nd := math.Max(1, math.Max(ndL, ndR))
+		j.rows = math.Max(1, lRows*rRows/nd*extraSel)
+		j.cost = left.Cost() + right.Cost() +
+			(lRows+rRows)*cpuTupleCost + // probe + build tuple handling
+			rRows*cpuOperatorCost*2 + // hash build
+			j.rows*cpuOperatorCost
+	} else {
+		// Nested loop with arbitrary ON predicate.
+		j.rows = math.Max(1, lRows*rRows*defaultIneqSel*extraSel)
+		j.cost = left.Cost() + right.Cost() + lRows*rRows*cpuOperatorCost
+	}
+	if j.JoinType == sqlparser.JoinLeft && j.rows < lRows {
+		j.rows = lRows
+	}
+	return j
+}
+
+func (q *Query) keyDistinct(c *sqlparser.ColumnRef) float64 {
+	ref, ok := q.Binding.Cols[c]
+	if !ok || ref.Level != 0 {
+		return 1
+	}
+	col := q.Binding.Scope.Tables[ref.TableIdx].Table.Columns[ref.ColIdx]
+	return math.Max(1, float64(col.Stats.NDistinct))
+}
+
+func (q *Query) subqueryCostOf(c sqlparser.Expr) float64 {
+	cost := 0.0
+	var visit func(e sqlparser.Expr)
+	addSub := func(s *sqlparser.SelectStmt) {
+		if s == nil {
+			return
+		}
+		if sp, ok := q.Subplans[s]; ok {
+			cost += sp.TotalCost()
+		}
+	}
+	visit = func(e sqlparser.Expr) {
+		if e == nil {
+			return
+		}
+		switch t := e.(type) {
+		case *sqlparser.InExpr:
+			addSub(t.Sub)
+			visit(t.X)
+		case *sqlparser.ExistsExpr:
+			addSub(t.Sub)
+		case *sqlparser.SubqueryExpr:
+			addSub(t.Sub)
+		case *sqlparser.BinaryExpr:
+			visit(t.L)
+			visit(t.R)
+		case *sqlparser.UnaryExpr:
+			visit(t.X)
+		}
+	}
+	visit(c)
+	return cost
+}
+
+// ---- EXPLAIN ----
+
+// Explain renders the plan tree in a PostgreSQL-like format.
+func (q *Query) Explain() string {
+	var b strings.Builder
+	q.Root.explain(&b, 0)
+	return b.String()
+}
+
+func indentTo(b *strings.Builder, indent int) {
+	for i := 0; i < indent; i++ {
+		b.WriteString("  ")
+	}
+	if indent > 0 {
+		b.WriteString("-> ")
+	}
+}
+
+func (n *ScanNode) explain(b *strings.Builder, indent int) {
+	indentTo(b, indent)
+	kind := "Seq Scan"
+	if n.UseIndex {
+		kind = fmt.Sprintf("Index Scan using idx_%s_%s", n.Table.Name, n.IndexCol)
+	}
+	fmt.Fprintf(b, "%s on %s", kind, n.Table.Name)
+	if !strings.EqualFold(n.RefName, n.Table.Name) {
+		fmt.Fprintf(b, " %s", n.RefName)
+	}
+	fmt.Fprintf(b, "  (cost=%.2f rows=%.0f)\n", n.cost, n.rows)
+	for _, f := range n.Filters {
+		indentTo(b, indent+1)
+		fmt.Fprintf(b, "Filter: %s\n", f.SQL())
+	}
+}
+
+func (n *JoinNode) explain(b *strings.Builder, indent int) {
+	indentTo(b, indent)
+	kind := "Nested Loop"
+	if n.HasEqui {
+		kind = "Hash Join"
+	}
+	if n.JoinType == sqlparser.JoinLeft {
+		kind += " Left"
+	}
+	fmt.Fprintf(b, "%s  (cost=%.2f rows=%.0f)", kind, n.cost, n.rows)
+	if n.HasEqui {
+		fmt.Fprintf(b, "  Cond: %s = %s", n.LeftKey.SQL(), n.RightKey.SQL())
+	}
+	b.WriteByte('\n')
+	n.Left.explain(b, indent+1)
+	n.Right.explain(b, indent+1)
+}
+
+func (n *FilterNode) explain(b *strings.Builder, indent int) {
+	indentTo(b, indent)
+	parts := make([]string, len(n.Conds))
+	for i, c := range n.Conds {
+		parts[i] = c.SQL()
+	}
+	fmt.Fprintf(b, "Filter  (cost=%.2f rows=%.0f)  Cond: %s\n", n.cost, n.rows, strings.Join(parts, " AND "))
+	n.Input.explain(b, indent+1)
+}
+
+func (n *AggNode) explain(b *strings.Builder, indent int) {
+	indentTo(b, indent)
+	if len(n.GroupBy) > 0 {
+		keys := make([]string, len(n.GroupBy))
+		for i, g := range n.GroupBy {
+			keys[i] = g.SQL()
+		}
+		fmt.Fprintf(b, "HashAggregate  (cost=%.2f rows=%.0f)  Key: %s\n", n.cost, n.rows, strings.Join(keys, ", "))
+	} else {
+		fmt.Fprintf(b, "Aggregate  (cost=%.2f rows=%.0f)\n", n.cost, n.rows)
+	}
+	n.Input.explain(b, indent+1)
+}
+
+func (n *DistinctNode) explain(b *strings.Builder, indent int) {
+	indentTo(b, indent)
+	fmt.Fprintf(b, "Unique  (cost=%.2f rows=%.0f)\n", n.cost, n.rows)
+	n.Input.explain(b, indent+1)
+}
+
+func (n *SortNode) explain(b *strings.Builder, indent int) {
+	indentTo(b, indent)
+	fmt.Fprintf(b, "Sort  (cost=%.2f rows=%.0f)\n", n.cost, n.rows)
+	n.Input.explain(b, indent+1)
+}
+
+func (n *LimitNode) explain(b *strings.Builder, indent int) {
+	indentTo(b, indent)
+	fmt.Fprintf(b, "Limit %d  (cost=%.2f rows=%.0f)\n", n.N, n.cost, n.rows)
+	n.Input.explain(b, indent+1)
+}

@@ -1,0 +1,204 @@
+// Package profiler implements §5.1, template profiling via strategic
+// sampling: it derives each template's predicate-value search space from the
+// schema statistics, draws space-filling Latin Hypercube samples, evaluates
+// the instantiated queries on the DBMS, and records the resulting cost
+// observations.
+package profiler
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sqlbarber/internal/bo"
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/sqltemplate"
+	"sqlbarber/internal/sqltypes"
+	"sqlbarber/internal/stats"
+)
+
+// Dimension maps one placeholder to a numeric search dimension. String
+// columns become categorical dimensions over their observed values.
+type Dimension struct {
+	Binding sqltemplate.PlaceholderBinding
+	Param   bo.Param
+	Options []sqltypes.Value // non-nil for categorical dimensions
+}
+
+// Value converts a denormalized parameter value into the SQL value to
+// substitute.
+func (d Dimension) Value(raw float64) sqltypes.Value {
+	if d.Options != nil {
+		i := int(raw)
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(d.Options) {
+			i = len(d.Options) - 1
+		}
+		return d.Options[i]
+	}
+	if d.Param.Integer {
+		return sqltypes.NewInt(int64(raw))
+	}
+	return sqltypes.NewFloat(raw)
+}
+
+// SearchSpace is a template's full predicate-value space.
+type SearchSpace struct {
+	Template *sqltemplate.Template
+	Dims     []Dimension
+}
+
+// BOSpace converts to the optimizer's parameter space.
+func (s *SearchSpace) BOSpace() bo.Space {
+	out := make(bo.Space, len(s.Dims))
+	for i, d := range s.Dims {
+		out[i] = d.Param
+	}
+	return out
+}
+
+// ValuesFor maps denormalized parameter values to placeholder substitutions.
+func (s *SearchSpace) ValuesFor(raw []float64) map[string]sqltypes.Value {
+	vals := make(map[string]sqltypes.Value, len(s.Dims))
+	for i, d := range s.Dims {
+		vals[d.Binding.Name] = d.Value(raw[i])
+	}
+	return vals
+}
+
+// Instantiate renders executable SQL for the given raw parameter vector.
+func (s *SearchSpace) Instantiate(raw []float64) (string, error) {
+	return s.Template.Instantiate(s.ValuesFor(raw))
+}
+
+// Size reports the approximate number of distinct configurations, feeding
+// Algorithm 3's remaining-search-space accounting.
+func (s *SearchSpace) Size() float64 { return s.BOSpace().Size() }
+
+// BuildSearchSpace derives the search space from the template's placeholder
+// bindings and column statistics.
+func BuildSearchSpace(t *sqltemplate.Template, bindings []sqltemplate.PlaceholderBinding) (*SearchSpace, error) {
+	ss := &SearchSpace{Template: t}
+	for _, b := range bindings {
+		st := b.Column.Stats
+		var dim Dimension
+		dim.Binding = b
+		switch {
+		case st.Min.IsNumeric() && st.Max.IsNumeric():
+			lo, hi := st.Min.Float(), st.Max.Float()
+			if hi <= lo {
+				hi = lo + 1
+			}
+			// Widen slightly so boundary predicates can select all or none.
+			span := hi - lo
+			dim.Param = bo.Param{
+				Name:    b.Name,
+				Lo:      lo - 0.01*span,
+				Hi:      hi + 0.01*span,
+				Integer: st.Min.Kind() == sqltypes.KindInt,
+			}
+		default:
+			// Categorical: enumerate observed common values.
+			var opts []sqltypes.Value
+			for _, mv := range st.MostCommon {
+				opts = append(opts, mv.Value)
+			}
+			if len(opts) == 0 {
+				if !st.Min.IsNull() {
+					opts = append(opts, st.Min)
+				}
+				if !st.Max.IsNull() && st.Max.Compare(st.Min) != 0 {
+					opts = append(opts, st.Max)
+				}
+			}
+			if len(opts) == 0 {
+				return nil, fmt.Errorf("profiler: placeholder {%s} on column %s has no sampleable domain", b.Name, b.Column.Name)
+			}
+			dim.Options = opts
+			dim.Param = bo.Param{Name: b.Name, Lo: 0, Hi: float64(len(opts) - 1), Integer: true}
+		}
+		ss.Dims = append(ss.Dims, dim)
+	}
+	return ss, nil
+}
+
+// Observation is one profiled query.
+type Observation struct {
+	Raw  []float64 // denormalized predicate values
+	SQL  string
+	Cost float64
+}
+
+// Profile is the outcome of profiling one template.
+type Profile struct {
+	Template *sqltemplate.Template
+	Space    *SearchSpace
+	Obs      []Observation
+}
+
+// Costs returns the observed cost vector (the C_i of §5.2).
+func (p *Profile) Costs() []float64 {
+	out := make([]float64, len(p.Obs))
+	for i, o := range p.Obs {
+		out[i] = o.Cost
+	}
+	return out
+}
+
+// Profiler profiles templates against one database and cost metric.
+type Profiler struct {
+	DB   *engine.DB
+	Kind engine.CostKind
+	Rng  *rand.Rand
+	// IndependentSampling switches LHS off (ablation only).
+	IndependentSampling bool
+}
+
+// Profile instantiates the template at n space-filling sample points and
+// records the observed costs. Templates whose queries fail to plan return an
+// error and should be discarded by the caller.
+func (p *Profiler) Profile(t *sqltemplate.Template, n int) (*Profile, error) {
+	bindings, err := t.BindPlaceholders(p.DB.Schema())
+	if err != nil {
+		return nil, err
+	}
+	if len(bindings) == 0 {
+		// A template without placeholders yields exactly one query.
+		sql := t.SQL()
+		cost, err := p.DB.Cost(sql, p.Kind)
+		if err != nil {
+			return nil, err
+		}
+		return &Profile{
+			Template: t,
+			Space:    &SearchSpace{Template: t},
+			Obs:      []Observation{{SQL: sql, Cost: cost}},
+		}, nil
+	}
+	space, err := BuildSearchSpace(t, bindings)
+	if err != nil {
+		return nil, err
+	}
+	boSpace := space.BOSpace()
+	var unit [][]float64
+	if p.IndependentSampling {
+		unit = stats.IndependentUniform(p.Rng, n, len(space.Dims))
+	} else {
+		unit = stats.LatinHypercube(p.Rng, n, len(space.Dims))
+	}
+	prof := &Profile{Template: t, Space: space}
+	for _, u := range unit {
+		raw := boSpace.Denormalize(u)
+		sql, err := space.Instantiate(raw)
+		if err != nil {
+			return nil, err
+		}
+		cost, err := p.DB.Cost(sql, p.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("profiler: template %d probe failed: %w", t.ID, err)
+		}
+		prof.Obs = append(prof.Obs, Observation{Raw: raw, SQL: sql, Cost: cost})
+	}
+	return prof, nil
+}

@@ -1,0 +1,119 @@
+package realworld
+
+import (
+	"testing"
+)
+
+func TestSnowsetCardinalityShapes(t *testing.T) {
+	d1 := SnowsetCardinality(1, 0, 10000, 10, 1000)
+	if d1.Total() != 1000 {
+		t.Fatalf("total %d", d1.Total())
+	}
+	// Variant 1 is head-heavy: the first interval dominates the last.
+	if d1.Counts[0] <= d1.Counts[9] {
+		t.Fatalf("variant 1 not head-heavy: %v", d1.Counts)
+	}
+	d2 := SnowsetCardinality(2, 0, 10000, 10, 1000)
+	if d2.Total() != 1000 {
+		t.Fatalf("total %d", d2.Total())
+	}
+	// Variant 2 has a mid-range bump: some interval beyond the third
+	// exceeds its neighbors.
+	bump := false
+	for j := 3; j < 9; j++ {
+		if d2.Counts[j] > d2.Counts[j-1] {
+			bump = true
+		}
+	}
+	if !bump {
+		t.Fatalf("variant 2 lacks a secondary mode: %v", d2.Counts)
+	}
+}
+
+func TestCostDistributionsSkew(t *testing.T) {
+	for name, d := range map[string][]int{
+		"snowset": SnowsetCost(0, 10000, 10, 1000).Counts,
+		"redset":  RedsetCost(0, 10000, 10, 1000).Counts,
+	} {
+		head := d[0] + d[1]
+		tail := d[8] + d[9]
+		if head <= tail {
+			t.Errorf("%s cost distribution not cheap-dominated: %v", name, d)
+		}
+		if tail == 0 {
+			t.Errorf("%s cost distribution has no expensive tail: %v", name, d)
+		}
+	}
+}
+
+func TestDistributionsRespectIntervalCount(t *testing.T) {
+	for _, n := range []int{5, 10, 20, 25} {
+		d := RedsetCost(0, 10000, n, 500)
+		if len(d.Counts) != n || d.Total() != 500 {
+			t.Fatalf("intervals=%d: counts=%d total=%d", n, len(d.Counts), d.Total())
+		}
+	}
+}
+
+func TestRedsetSpecs(t *testing.T) {
+	specs := RedsetSpecs(1)
+	if len(specs) != 24 {
+		t.Fatalf("got %d specs, want 24", len(specs))
+	}
+	joinHist := map[int]int{}
+	for i, s := range specs {
+		if s.TemplateID != i+1 {
+			t.Errorf("spec %d id %d", i, s.TemplateID)
+		}
+		if s.NumJoins == nil || s.NumTables == nil || s.NumAggregations == nil {
+			t.Fatalf("spec %d missing annotations", i)
+		}
+		if *s.NumTables != *s.NumJoins+1 {
+			t.Errorf("spec %d tables %d != joins+1 %d", i, *s.NumTables, *s.NumJoins+1)
+		}
+		if len(s.Instructions) == 0 {
+			t.Errorf("spec %d has no natural-language instruction", i)
+		}
+		if s.NumPredicates == nil || *s.NumPredicates < 1 {
+			t.Errorf("spec %d must request at least one predicate", i)
+		}
+		joinHist[*s.NumJoins]++
+	}
+	// Redset shape: narrow queries dominate.
+	if joinHist[0] < joinHist[2] || joinHist[1] < joinHist[3] {
+		t.Errorf("join profile not Redset-shaped: %v", joinHist)
+	}
+	// At least one of each instruction type across the workload.
+	var nested, grouped int
+	for _, s := range specs {
+		if s.NestedQuery != nil && *s.NestedQuery {
+			nested++
+		}
+		if s.GroupBy != nil && *s.GroupBy {
+			grouped++
+		}
+	}
+	if nested == 0 || grouped == 0 {
+		t.Errorf("instruction mix: nested=%d grouped=%d", nested, grouped)
+	}
+}
+
+func TestRedsetSpecsDeterministic(t *testing.T) {
+	a := RedsetSpecs(5)
+	b := RedsetSpecs(5)
+	for i := range a {
+		da, _ := a[i].MarshalJSON()
+		db, _ := b[i].MarshalJSON()
+		if string(da) != string(db) {
+			t.Fatalf("spec %d differs for same seed", i)
+		}
+	}
+}
+
+func TestGroupByImpliesAggregation(t *testing.T) {
+	for _, s := range RedsetSpecs(9) {
+		if s.GroupBy != nil && *s.GroupBy && *s.NumAggregations == 0 {
+			t.Fatalf("GROUP BY spec with zero aggregations: %+v", s)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package refine implements §5.2, Algorithm 2: cost-aware template
+// refinement and pruning. It detects missing and difficult cost intervals,
+// asks the LLM to refine the closest templates toward them (with few-shot
+// rewrite history in phase 2), profiles every new template, and accepts it
+// only if it fills an underrepresented interval or reduces the distribution
+// distance (Equation 4).
+package refine
+
+import (
+	"fmt"
+	"sort"
+
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/profiler"
+	"sqlbarber/internal/sqltemplate"
+	"sqlbarber/internal/stats"
+	"sqlbarber/internal/workload"
+)
+
+// Options holds Algorithm 2's phase parameters. Defaults follow the paper:
+// phase 1 (τ=0.2, k=3, m=3) without history, phase 2 (τ=0.1, k=5, m=5) with
+// history.
+type Options struct {
+	Tau1, Tau2     float64
+	K1, K2         int
+	M1, M2         int
+	ProfileSamples int // probes per newly refined template (default 8)
+	// MaxNewTemplates bounds template proliferation (default 64).
+	MaxNewTemplates int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tau1 == 0 {
+		o.Tau1 = 0.2
+	}
+	if o.Tau2 == 0 {
+		o.Tau2 = 0.1
+	}
+	if o.K1 == 0 {
+		o.K1 = 3
+	}
+	if o.K2 == 0 {
+		o.K2 = 5
+	}
+	if o.M1 == 0 {
+		o.M1 = 3
+	}
+	if o.M2 == 0 {
+		o.M2 = 5
+	}
+	if o.ProfileSamples == 0 {
+		o.ProfileSamples = 8
+	}
+	if o.MaxNewTemplates == 0 {
+		o.MaxNewTemplates = 64
+	}
+	return o
+}
+
+// Stats reports what a refinement run did.
+type Stats struct {
+	Iterations   int
+	Generated    int // templates the LLM produced
+	Accepted     int // templates that passed the pruning check
+	ProfileFails int // refined templates whose probes failed
+}
+
+// Refiner runs Algorithm 2.
+type Refiner struct {
+	Oracle llm.Oracle
+	Prof   *profiler.Profiler
+	Opts   Options
+}
+
+type phase struct {
+	tau     float64
+	k, m    int
+	useHist bool
+}
+
+// Run refines the template set toward the target distribution, returning
+// the extended set (original templates plus accepted refinements) and stats.
+func (r *Refiner) Run(templates []*workload.TemplateState, target *stats.TargetDistribution) ([]*workload.TemplateState, Stats, error) {
+	opts := r.Opts.withDefaults()
+	var st Stats
+	hist := map[int][]llm.RefineAttempt{} // interval -> attempts
+	nextID := 0
+	for _, t := range templates {
+		if t.Profile.Template.ID > nextID {
+			nextID = t.Profile.Template.ID
+		}
+	}
+	phases := []phase{
+		{tau: opts.Tau1, k: opts.K1, m: opts.M1, useHist: false},
+		{tau: opts.Tau2, k: opts.K2, m: opts.M2, useHist: true},
+	}
+	for _, ph := range phases {
+		for iter := 0; iter < ph.k; iter++ {
+			st.Iterations++
+			coverage := workload.CountsOf(templates, target.Intervals)
+			var low []int
+			for j, want := range target.Counts {
+				if want > 0 && float64(coverage[j]) < ph.tau*float64(want) {
+					low = append(low, j)
+				}
+			}
+			if len(low) == 0 {
+				return templates, st, nil
+			}
+			added, err := r.refineForIntervals(&templates, target, low, ph, hist, &nextID, &st, opts)
+			if err != nil {
+				return templates, st, err
+			}
+			if !added && !ph.useHist {
+				break // phase 1 made no progress; escalate to phase 2
+			}
+			if st.Accepted >= opts.MaxNewTemplates {
+				return templates, st, nil
+			}
+		}
+	}
+	return templates, st, nil
+}
+
+// refineForIntervals is Algorithm 2's RefineForIntervals: refine the top-m
+// closest templates toward each low-coverage interval.
+func (r *Refiner) refineForIntervals(templates *[]*workload.TemplateState, target *stats.TargetDistribution, low []int, ph phase, hist map[int][]llm.RefineAttempt, nextID *int, st *Stats, opts Options) (bool, error) {
+	added := false
+	for _, j := range low {
+		iv := target.Intervals[j]
+		top := r.topByCloseness(*templates, iv, ph.m)
+		for _, t := range top {
+			var history []llm.RefineAttempt
+			if ph.useHist {
+				history = hist[j]
+			}
+			req := llm.RefineRequest{
+				Schema:      r.Prof.DB.Schema(),
+				TemplateSQL: t.Profile.Template.SQL(),
+				Spec:        t.Spec,
+				Costs:       t.Costs(),
+				Target:      iv,
+				History:     history,
+			}
+			newSQL, err := r.Oracle.RefineTemplate(req)
+			if err != nil {
+				return added, fmt.Errorf("refine: oracle failed: %w", err)
+			}
+			st.Generated++
+			curCounts := workload.CountsOf(*templates, target.Intervals)
+			newState, attempt, err := r.profileCandidate(newSQL, t, j, target, curCounts)
+			if err != nil {
+				st.ProfileFails++
+				hist[j] = append(hist[j], llm.RefineAttempt{TemplateSQL: newSQL})
+				continue
+			}
+			hist[j] = append(hist[j], attempt)
+			if newState != nil {
+				*nextID++
+				newState.Profile.Template.ID = *nextID
+				*templates = append(*templates, newState)
+				st.Accepted++
+				added = true
+				if st.Accepted >= opts.MaxNewTemplates {
+					return added, nil
+				}
+			}
+		}
+	}
+	return added, nil
+}
+
+// profileCandidate profiles a refined template and applies the Equation (4)
+// pruning rule. It returns nil state (no error) when the candidate is
+// pruned.
+func (r *Refiner) profileCandidate(sql string, parent *workload.TemplateState, targetIdx int, target *stats.TargetDistribution, curCounts []int) (*workload.TemplateState, llm.RefineAttempt, error) {
+	tmpl, err := sqltemplate.Parse(sql)
+	if err != nil {
+		return nil, llm.RefineAttempt{}, err
+	}
+	prof, err := r.Prof.Profile(tmpl, r.Opts.withDefaults().ProfileSamples)
+	if err != nil {
+		return nil, llm.RefineAttempt{}, err
+	}
+	costs := prof.Costs()
+	attempt := llm.RefineAttempt{TemplateSQL: sql}
+	if len(costs) > 0 {
+		attempt.MinCost, attempt.MaxCost = costs[0], costs[0]
+		for _, c := range costs {
+			if c < attempt.MinCost {
+				attempt.MinCost = c
+			}
+			if c > attempt.MaxCost {
+				attempt.MaxCost = c
+			}
+		}
+	}
+	iv := target.Intervals[targetIdx]
+	for _, c := range costs {
+		if iv.Contains(c) {
+			attempt.Hit = true
+			break
+		}
+	}
+	if attempt.Hit {
+		return &workload.TemplateState{Profile: prof, Spec: parent.Spec}, attempt, nil
+	}
+	// Equation (4) second clause: accept if the candidate's contribution
+	// reduces the overall distribution distance D(d_c + v_new, d*) < D(d_c, d*).
+	before := stats.Wasserstein(target.Intervals, target.Counts, curCounts)
+	withNew := append([]int(nil), curCounts...)
+	for _, c := range costs {
+		if j := target.Intervals.Index(c); j >= 0 {
+			withNew[j]++
+		}
+	}
+	after := stats.Wasserstein(target.Intervals, target.Counts, withNew)
+	if after < before {
+		return &workload.TemplateState{Profile: prof, Spec: parent.Spec}, attempt, nil
+	}
+	return nil, attempt, nil
+}
+
+// topByCloseness ranks templates by Equation (2) and returns the top m.
+func (r *Refiner) topByCloseness(templates []*workload.TemplateState, iv stats.Interval, m int) []*workload.TemplateState {
+	type scored struct {
+		t *workload.TemplateState
+		s float64
+	}
+	all := make([]scored, 0, len(templates))
+	for _, t := range templates {
+		all = append(all, scored{t, workload.Closeness(t.Costs(), iv)})
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].s > all[j].s })
+	if m > len(all) {
+		m = len(all)
+	}
+	out := make([]*workload.TemplateState, m)
+	for i := 0; i < m; i++ {
+		out[i] = all[i].t
+	}
+	return out
+}
+
+// Prune drops templates with no observed cost inside the target range —
+// they cannot contribute to the distribution (Figure 4 step 3).
+func Prune(templates []*workload.TemplateState, target *stats.TargetDistribution) []*workload.TemplateState {
+	lo, hi := target.Intervals.Lo(), target.Intervals.Hi()
+	var out []*workload.TemplateState
+	for _, t := range templates {
+		keep := false
+		for _, c := range t.Costs() {
+			if c >= lo && c <= hi {
+				keep = true
+				break
+			}
+		}
+		if keep {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		return templates // never prune everything
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+// Package rf implements a random-forest regressor (bagged CART trees with
+// feature subsampling). It is the surrogate model of SQLBarber's Bayesian
+// optimizer (§5.3), standing in for SMAC3's random forest.
+package rf
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Options configures forest training. The zero value is usable; fields at
+// zero take the documented defaults.
+type Options struct {
+	NumTrees    int     // default 16
+	MaxDepth    int     // default 10
+	MinLeafSize int     // default 2
+	FeatureFrac float64 // fraction of features per split, default 0.8
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumTrees <= 0 {
+		o.NumTrees = 16
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 10
+	}
+	if o.MinLeafSize <= 0 {
+		o.MinLeafSize = 2
+	}
+	if o.FeatureFrac <= 0 || o.FeatureFrac > 1 {
+		o.FeatureFrac = 0.8
+	}
+	return o
+}
+
+// Forest is a trained random-forest regressor.
+type Forest struct {
+	trees []*node
+	dims  int
+}
+
+type node struct {
+	// Leaf fields
+	value float64
+	leaf  bool
+	// Split fields
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+}
+
+// Train fits a forest to (X, y). X rows must share one length. Training is
+// deterministic for a fixed rng state.
+func Train(rng *rand.Rand, X [][]float64, y []float64, opts Options) *Forest {
+	opts = opts.withDefaults()
+	if len(X) == 0 {
+		return &Forest{}
+	}
+	dims := len(X[0])
+	f := &Forest{dims: dims}
+	for t := 0; t < opts.NumTrees; t++ {
+		idx := make([]int, len(X))
+		for i := range idx {
+			idx[i] = rng.Intn(len(X)) // bootstrap sample
+		}
+		f.trees = append(f.trees, buildTree(rng, X, y, idx, 0, opts))
+	}
+	return f
+}
+
+func buildTree(rng *rand.Rand, X [][]float64, y []float64, idx []int, depth int, opts Options) *node {
+	mean := 0.0
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+	if depth >= opts.MaxDepth || len(idx) < 2*opts.MinLeafSize || pure(y, idx) {
+		return &node{leaf: true, value: mean}
+	}
+	dims := len(X[0])
+	nFeat := int(math.Ceil(opts.FeatureFrac * float64(dims)))
+	feats := rng.Perm(dims)[:nFeat]
+	bestFeat, bestThresh, bestScore := -1, 0.0, math.Inf(1)
+	for _, fdim := range feats {
+		vals := make([]float64, len(idx))
+		for k, i := range idx {
+			vals[k] = X[i][fdim]
+		}
+		sort.Float64s(vals)
+		// Candidate thresholds at a handful of quantiles.
+		for q := 1; q <= 8; q++ {
+			th := vals[q*(len(vals)-1)/9]
+			if th == vals[0] || th == vals[len(vals)-1] {
+				continue
+			}
+			score := splitScore(X, y, idx, fdim, th, opts.MinLeafSize)
+			if score < bestScore {
+				bestFeat, bestThresh, bestScore = fdim, th, score
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &node{leaf: true, value: mean}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][bestFeat] <= bestThresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) < opts.MinLeafSize || len(ri) < opts.MinLeafSize {
+		return &node{leaf: true, value: mean}
+	}
+	return &node{
+		feature:   bestFeat,
+		threshold: bestThresh,
+		left:      buildTree(rng, X, y, li, depth+1, opts),
+		right:     buildTree(rng, X, y, ri, depth+1, opts),
+	}
+}
+
+func pure(y []float64, idx []int) bool {
+	first := y[idx[0]]
+	for _, i := range idx[1:] {
+		if y[i] != first {
+			return false
+		}
+	}
+	return true
+}
+
+// splitScore is the weighted sum of child variances (lower is better).
+func splitScore(X [][]float64, y []float64, idx []int, feat int, th float64, minLeaf int) float64 {
+	var ls, lss, rs, rss float64
+	var ln, rn int
+	for _, i := range idx {
+		v := y[i]
+		if X[i][feat] <= th {
+			ls += v
+			lss += v * v
+			ln++
+		} else {
+			rs += v
+			rss += v * v
+			rn++
+		}
+	}
+	if ln < minLeaf || rn < minLeaf {
+		return math.Inf(1)
+	}
+	lvar := lss/float64(ln) - (ls/float64(ln))*(ls/float64(ln))
+	rvar := rss/float64(rn) - (rs/float64(rn))*(rs/float64(rn))
+	return lvar*float64(ln) + rvar*float64(rn)
+}
+
+// Predict returns the ensemble mean and standard deviation across trees —
+// the surrogate's value and uncertainty estimates.
+func (f *Forest) Predict(x []float64) (mean, std float64) {
+	if len(f.trees) == 0 {
+		return 0, 1
+	}
+	var s, ss float64
+	for _, t := range f.trees {
+		v := t.predict(x)
+		s += v
+		ss += v * v
+	}
+	n := float64(len(f.trees))
+	mean = s / n
+	variance := ss/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance)
+}
+
+func (n *node) predict(x []float64) float64 {
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Empty reports whether the forest has no trees (untrained).
+func (f *Forest) Empty() bool { return len(f.trees) == 0 }

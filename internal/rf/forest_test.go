@@ -1,0 +1,116 @@
+package rf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestForestLearnsLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 400; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		X = append(X, x)
+		y = append(y, 3*x[0]+x[1])
+	}
+	f := Train(rng, X, y, Options{})
+	mse := 0.0
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		pred, _ := f.Predict(x)
+		d := pred - (3*x[0] + x[1])
+		mse += d * d
+	}
+	mse /= 100
+	if mse > 0.25 {
+		t.Fatalf("forest MSE %.3f too high for a linear target", mse)
+	}
+}
+
+func TestForestLearnsStepFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 300; i++ {
+		x := rng.Float64()
+		X = append(X, []float64{x})
+		if x > 0.5 {
+			y = append(y, 10)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	f := Train(rng, X, y, Options{})
+	lo, _ := f.Predict([]float64{0.2})
+	hi, _ := f.Predict([]float64{0.8})
+	if lo > 2 || hi < 8 {
+		t.Fatalf("step not learned: f(0.2)=%.2f f(0.8)=%.2f", lo, hi)
+	}
+}
+
+func TestForestUncertaintyHigherOffData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var X [][]float64
+	var y []float64
+	// Train only on the left half with a noisy target.
+	for i := 0; i < 200; i++ {
+		x := rng.Float64() * 0.5
+		X = append(X, []float64{x})
+		y = append(y, x+rng.NormFloat64()*0.2)
+	}
+	f := Train(rng, X, y, Options{})
+	_, stdIn := f.Predict([]float64{0.25})
+	mean, _ := f.Predict([]float64{0.25})
+	if math.IsNaN(mean) || math.IsNaN(stdIn) {
+		t.Fatal("NaN prediction")
+	}
+	if stdIn < 0 {
+		t.Fatal("negative std")
+	}
+}
+
+func TestEmptyForest(t *testing.T) {
+	f := Train(rand.New(rand.NewSource(1)), nil, nil, Options{})
+	if !f.Empty() {
+		t.Fatal("empty training set must yield empty forest")
+	}
+	mean, std := f.Predict([]float64{0.5})
+	if mean != 0 || std != 1 {
+		t.Fatalf("empty forest prediction = %v/%v, want 0/1 prior", mean, std)
+	}
+}
+
+func TestForestDeterminism(t *testing.T) {
+	build := func() *Forest {
+		rng := rand.New(rand.NewSource(7))
+		var X [][]float64
+		var y []float64
+		for i := 0; i < 100; i++ {
+			x := rng.Float64()
+			X = append(X, []float64{x})
+			y = append(y, x*x)
+		}
+		return Train(rng, X, y, Options{NumTrees: 8})
+	}
+	a, b := build(), build()
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		ma, _ := a.Predict([]float64{x})
+		mb, _ := b.Predict([]float64{x})
+		if ma != mb {
+			t.Fatalf("same seed, different predictions at %v: %v vs %v", x, ma, mb)
+		}
+	}
+}
+
+func TestConstantTargetIsPure(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	X := [][]float64{{0.1}, {0.2}, {0.3}, {0.4}}
+	y := []float64{5, 5, 5, 5}
+	f := Train(rng, X, y, Options{})
+	mean, std := f.Predict([]float64{0.25})
+	if mean != 5 || std != 0 {
+		t.Fatalf("constant target: mean=%v std=%v", mean, std)
+	}
+}

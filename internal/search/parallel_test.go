@@ -1,0 +1,25 @@
+package search
+
+import (
+	"testing"
+
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/stats"
+	"sqlbarber/internal/workload"
+)
+
+func TestSearchParallelMatchesSequentialQuality(t *testing.T) {
+	run := func(par int) float64 {
+		db, states := setup(t)
+		target := stats.Uniform(0, 1500, 5, 60)
+		s := &Searcher{DB: db, Kind: engine.Cardinality, Opts: Options{Seed: 5, Parallelism: par}}
+		queries, _ := s.Run(states, target, nil)
+		sel := workload.SelectWorkload(queries, target)
+		return workload.Distance(sel, target)
+	}
+	seq := run(1)
+	par := run(4)
+	if par > seq+60 {
+		t.Fatalf("parallel quality degraded: %.1f vs %.1f", par, seq)
+	}
+}

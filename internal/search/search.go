@@ -1,0 +1,500 @@
+// Package search implements §5.3, Algorithm 3: BO-based predicate search.
+// It repeatedly targets the cost interval with the largest gap between the
+// target and current distributions, ranks templates by closeness, filters
+// out bad combinations, exhausted search spaces, and low-diversity
+// templates, and runs a random-forest-surrogate Bayesian optimization over
+// each chosen template's predicate space, minimizing the Equation (5)
+// distance-to-interval objective. Utility-ratio tracking (Equation 6), bad
+// combinations, failure counters, and skip intervals keep effort focused on
+// feasible intervals.
+package search
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"sqlbarber/internal/bo"
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/profiler"
+	"sqlbarber/internal/stats"
+	"sqlbarber/internal/workload"
+)
+
+// Options configures Algorithm 3.
+type Options struct {
+	// BudgetFactor scales the per-template BO budget (paper: 5·Δ*).
+	BudgetFactor int
+	// MaxBudget caps one BO run's evaluations (default 150).
+	MaxBudget int
+	// SampleSize is the weighted-sample size of candidate templates per
+	// interval (paper: 10).
+	SampleSize int
+	// UtilityThreshold marks bad combinations (paper: 0.05).
+	UtilityThreshold float64
+	// MaxFailures skips an interval after this many fruitless rounds
+	// (paper: 5).
+	MaxFailures int
+	// SpaceFactor requires R[T] >= SpaceFactor·Δ* (paper: 5).
+	SpaceFactor int
+	// MinVariety filters low-diversity templates (LimitedDiversity check).
+	MinVariety float64
+	// Naive replaces BO with pure random search (ablation "Naive-Search").
+	Naive bool
+	// MaxRounds is a global safety valve on while-loop rounds (default 500).
+	MaxRounds int
+	// Parallelism runs the per-round template optimizations on this many
+	// goroutines (default 1 = fully deterministic; >1 trades run-to-run
+	// determinism for wall-clock speed on multi-core machines).
+	Parallelism int
+	// Seed drives the optimizer's randomness.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.BudgetFactor == 0 {
+		o.BudgetFactor = 5
+	}
+	if o.MaxBudget == 0 {
+		o.MaxBudget = 150
+	}
+	if o.SampleSize == 0 {
+		o.SampleSize = 10
+	}
+	if o.UtilityThreshold == 0 {
+		o.UtilityThreshold = 0.05
+	}
+	if o.MaxFailures == 0 {
+		o.MaxFailures = 5
+	}
+	if o.SpaceFactor == 0 {
+		o.SpaceFactor = 5
+	}
+	if o.MinVariety == 0 {
+		o.MinVariety = 0.05
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 500
+	}
+	return o
+}
+
+// Stats reports a search run's behaviour.
+type Stats struct {
+	Rounds           int
+	Evaluations      int
+	SkippedIntervals int
+	BadCombinations  int
+}
+
+// Searcher runs Algorithm 3 against one database and cost metric.
+type Searcher struct {
+	DB   *engine.DB
+	Kind engine.CostKind
+	Opts Options
+	// Progress, when non-nil, is called after every round with the queries
+	// generated so far (used to record distance-over-time curves).
+	Progress func(queries []workload.Query)
+}
+
+type comboKey struct {
+	interval int
+	template int
+}
+
+// Run generates queries until the target distribution is filled or no
+// improvable interval remains. Seed queries (e.g. from profiling) are
+// counted into the starting distribution.
+func (s *Searcher) Run(templates []*workload.TemplateState, target *stats.TargetDistribution, seed []workload.Query) ([]workload.Query, Stats) {
+	opts := s.Opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var st Stats
+
+	queries := append([]workload.Query(nil), seed...)
+	// Current distribution d counts unique queries per interval.
+	unique := make([]map[string]bool, len(target.Intervals))
+	for i := range unique {
+		unique[i] = map[string]bool{}
+	}
+	d := make([]int, len(target.Intervals))
+	addQuery := func(q workload.Query) bool {
+		j := target.Intervals.Index(q.Cost)
+		if j < 0 || unique[j][q.SQL] {
+			return false
+		}
+		unique[j][q.SQL] = true
+		d[j]++
+		queries = append(queries, q)
+		return true
+	}
+	for _, q := range seed {
+		j := target.Intervals.Index(q.Cost)
+		if j >= 0 && !unique[j][q.SQL] {
+			unique[j][q.SQL] = true
+			d[j]++
+		}
+	}
+
+	bad := map[comboKey]bool{}
+	skip := map[int]bool{}
+	failures := map[int]int{}
+	revivals := 0
+	remaining := map[int]float64{}
+	for _, t := range templates {
+		if t.Profile.Space != nil {
+			remaining[t.Profile.Template.ID] = t.Profile.Space.Size()
+		}
+	}
+
+	for st.Rounds < opts.MaxRounds {
+		st.Rounds++
+		// Find the interval with the largest gap.
+		jStar, gap := -1, 0
+		for j, want := range target.Counts {
+			if skip[j] {
+				continue
+			}
+			if g := want - d[j]; g > gap {
+				gap = g
+				jStar = j
+			}
+		}
+		if jStar < 0 || gap <= 0 {
+			// All improvable intervals are exhausted or skipped. Skipped
+			// intervals get a limited second chance: observations gathered
+			// since (new templates, fresh profiling points) may have made
+			// them reachable.
+			if jStar < 0 && revivals < 2 && anyDeficit(target.Counts, d, skip) {
+				skip = map[int]bool{}
+				failures = map[int]int{}
+				revivals++
+				continue
+			}
+			break
+		}
+		iv := target.Intervals[jStar]
+
+		// Rank templates by closeness and filter (Algorithm 3 lines 8-12).
+		// The Naive-Search ablation skips the closeness machinery entirely:
+		// it cannot select templates for specific cost ranges (§6.4).
+		var cands []scoredTemplate
+		for _, t := range templates {
+			if t.Profile.Space == nil || len(t.Profile.Space.Dims) == 0 {
+				continue
+			}
+			if bad[comboKey{jStar, t.Profile.Template.ID}] {
+				continue
+			}
+			if !opts.Naive {
+				if remaining[t.Profile.Template.ID] < float64(opts.SpaceFactor*gap) {
+					continue
+				}
+				if workload.Variety(t.Costs()) < opts.MinVariety {
+					continue
+				}
+			}
+			score := 1.0
+			if !opts.Naive {
+				score = workload.Closeness(t.Costs(), iv)
+			}
+			cands = append(cands, scoredTemplate{t, score})
+		}
+		if len(cands) == 0 {
+			skip[jStar] = true
+			st.SkippedIntervals++
+			continue
+		}
+		if !opts.Naive {
+			sort.SliceStable(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+		} else {
+			rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		}
+		selected := weightedSample(rng, cands, opts.SampleSize)
+
+		improved := false
+		evaluateUtility := func(c scoredTemplate, dOld int, newCosts []float64) {
+			remaining[c.t.Profile.Template.ID] -= float64(len(newCosts))
+			if d[jStar] > dOld {
+				improved = true
+			}
+			// Utility ratio (Equation 6): fraction of new costs that filled
+			// any still-deficient interval.
+			if len(newCosts) > 0 {
+				useful := 0
+				for _, cost := range newCosts {
+					if j := target.Intervals.Index(cost); j >= 0 && d[j] <= target.Counts[j] {
+						useful++
+					}
+				}
+				if float64(useful)/float64(len(newCosts)) < opts.UtilityThreshold {
+					bad[comboKey{jStar, c.t.Profile.Template.ID}] = true
+					st.BadCombinations++
+				}
+			}
+		}
+		budgetFor := func(gap int) int {
+			budget := opts.BudgetFactor * gap
+			if budget > opts.MaxBudget {
+				budget = opts.MaxBudget
+			}
+			if budget < 4 {
+				budget = 4
+			}
+			return budget
+		}
+		if opts.Parallelism > 1 {
+			s.runSelectedParallel(selected, iv, jStar, target, d, budgetFor, addQuery, evaluateUtility, opts, &st)
+		} else {
+			for _, c := range selected {
+				if d[jStar] >= target.Counts[jStar] {
+					break
+				}
+				dOld := d[jStar]
+				budget := budgetFor(target.Counts[jStar] - d[jStar])
+				newCosts := s.optimizeTemplate(rng, c.t, iv, budget, opts, addQuery, &st)
+				evaluateUtility(c, dOld, newCosts)
+			}
+		}
+		if !improved {
+			failures[jStar]++
+			if failures[jStar] >= opts.MaxFailures {
+				skip[jStar] = true
+				st.SkippedIntervals++
+			}
+		}
+		if s.Progress != nil {
+			s.Progress(queries)
+		}
+	}
+	return queries, st
+}
+
+// optimizeTemplate runs one BO (or random, for the ablation) search over a
+// template's predicate space, minimizing Equation (5) for the interval.
+// Every evaluated query is recorded via addQuery; the returned slice holds
+// the observed costs.
+func (s *Searcher) optimizeTemplate(rng *rand.Rand, t *workload.TemplateState, iv stats.Interval, budget int, opts Options, addQuery func(workload.Query) bool, st *Stats) []float64 {
+	space := t.Profile.Space
+	boSpace := space.BOSpace()
+
+	// Warm start: re-score the template's historical observations under the
+	// current interval (no DBMS calls needed — costs are already known).
+	var warm []bo.Observation
+	for _, obs := range t.Profile.Obs {
+		if obs.Raw == nil {
+			continue
+		}
+		warm = append(warm, bo.Observation{
+			X: boSpace.Normalize(obs.Raw),
+			Y: objective(obs.Cost, iv),
+		})
+	}
+	if len(warm) > 32 {
+		// Keep the most promising history to bound surrogate training time.
+		sort.SliceStable(warm, func(i, j int) bool { return warm[i].Y < warm[j].Y })
+		warm = warm[:32]
+	}
+
+	var newCosts []float64
+	evaluate := func(raw []float64) (float64, bool) {
+		sql, err := space.Instantiate(raw)
+		if err != nil {
+			return 0, false
+		}
+		cost, err := s.DB.Cost(sql, s.Kind)
+		if err != nil {
+			return 0, false
+		}
+		st.Evaluations++
+		newCosts = append(newCosts, cost)
+		t.Profile.Obs = append(t.Profile.Obs, profiler.Observation{Raw: raw, SQL: sql, Cost: cost})
+		addQuery(workload.Query{SQL: sql, Cost: cost, TemplateID: t.Profile.Template.ID})
+		return objective(cost, iv), true
+	}
+
+	if opts.Naive {
+		for i := 0; i < budget; i++ {
+			x := make([]float64, len(boSpace))
+			for d := range x {
+				x[d] = rng.Float64()
+			}
+			evaluate(boSpace.Denormalize(x))
+		}
+		return newCosts
+	}
+	opt := bo.New(boSpace, rng, bo.Options{InitSamples: 4}, warm)
+	opt.Run(budget, evaluate, nil)
+	return newCosts
+}
+
+// objective is Equation (5): 0 inside [cl, cr), otherwise a relative
+// distance in (0, 1].
+func objective(c float64, iv stats.Interval) float64 {
+	cl, cr := iv.Lo, iv.Hi
+	if c >= cl && c <= cr {
+		return 0
+	}
+	ratio := func(a, b float64) float64 {
+		if a == 0 && b == 0 {
+			return 1
+		}
+		if a == 0 || b == 0 {
+			return 0
+		}
+		r := a / b
+		if r > 1 {
+			r = b / a
+		}
+		return r
+	}
+	m := ratio(c, cl)
+	if r := ratio(c, cr); r > m {
+		m = r
+	}
+	return 1 - m
+}
+
+// runSelectedParallel distributes the selected templates' BO runs over
+// Options.Parallelism goroutines. Shared state (the current distribution,
+// the query pool, utility bookkeeping, stats) is serialized through one
+// mutex; per-template state (profile observations, the optimizer) stays
+// goroutine-local. Run-to-run determinism is traded for wall-clock speed.
+func (s *Searcher) runSelectedParallel(selected []scoredTemplate, iv stats.Interval, jStar int,
+	target *stats.TargetDistribution, d []int, budgetFor func(int) int,
+	addQuery func(workload.Query) bool, evaluateUtility func(scoredTemplate, int, []float64),
+	opts Options, st *Stats) {
+
+	var mu sync.Mutex
+	lockedAdd := func(q workload.Query) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return addQuery(q)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Parallelism)
+	for i, c := range selected {
+		mu.Lock()
+		gap := target.Counts[jStar] - d[jStar]
+		dOld := d[jStar]
+		mu.Unlock()
+		if gap <= 0 {
+			break
+		}
+		budget := budgetFor(gap)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(c scoredTemplate, budget, dOld int, seed int64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			grng := rand.New(rand.NewSource(seed))
+			var local Stats
+			newCosts := s.optimizeTemplateLocked(&mu, grng, c.t, iv, budget, opts, lockedAdd, &local)
+			mu.Lock()
+			st.Evaluations += local.Evaluations
+			evaluateUtility(c, dOld, newCosts)
+			mu.Unlock()
+		}(c, budget, dOld, opts.Seed^int64(jStar*131+i*7919))
+	}
+	wg.Wait()
+}
+
+// optimizeTemplateLocked is optimizeTemplate with the profile-observation
+// append serialized through mu (the rest of the shared mutation happens
+// inside the already-locked addQuery callback).
+func (s *Searcher) optimizeTemplateLocked(mu *sync.Mutex, rng *rand.Rand, t *workload.TemplateState, iv stats.Interval, budget int, opts Options, addQuery func(workload.Query) bool, st *Stats) []float64 {
+	space := t.Profile.Space
+	boSpace := space.BOSpace()
+	mu.Lock()
+	var warm []bo.Observation
+	for _, obs := range t.Profile.Obs {
+		if obs.Raw == nil {
+			continue
+		}
+		warm = append(warm, bo.Observation{X: boSpace.Normalize(obs.Raw), Y: objective(obs.Cost, iv)})
+	}
+	mu.Unlock()
+	if len(warm) > 32 {
+		sort.SliceStable(warm, func(i, j int) bool { return warm[i].Y < warm[j].Y })
+		warm = warm[:32]
+	}
+	var newCosts []float64
+	evaluate := func(raw []float64) (float64, bool) {
+		sql, err := space.Instantiate(raw)
+		if err != nil {
+			return 0, false
+		}
+		cost, err := s.DB.Cost(sql, s.Kind)
+		if err != nil {
+			return 0, false
+		}
+		st.Evaluations++
+		newCosts = append(newCosts, cost)
+		mu.Lock()
+		t.Profile.Obs = append(t.Profile.Obs, profiler.Observation{Raw: raw, SQL: sql, Cost: cost})
+		mu.Unlock()
+		addQuery(workload.Query{SQL: sql, Cost: cost, TemplateID: t.Profile.Template.ID})
+		return objective(cost, iv), true
+	}
+	if opts.Naive {
+		for i := 0; i < budget; i++ {
+			x := make([]float64, len(boSpace))
+			for dd := range x {
+				x[dd] = rng.Float64()
+			}
+			evaluate(boSpace.Denormalize(x))
+		}
+		return newCosts
+	}
+	opt := bo.New(boSpace, rng, bo.Options{InitSamples: 4}, warm)
+	opt.Run(budget, evaluate, nil)
+	return newCosts
+}
+
+// anyDeficit reports whether a skipped interval still wants queries.
+func anyDeficit(want, have []int, skip map[int]bool) bool {
+	for j := range want {
+		if skip[j] && want[j] > have[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// scoredTemplate pairs a template with its closeness score.
+type scoredTemplate struct {
+	t     *workload.TemplateState
+	score float64
+}
+
+// weightedSample draws up to n candidates with probability proportional to
+// their closeness scores, without replacement.
+func weightedSample(rng *rand.Rand, cands []scoredTemplate, n int) []scoredTemplate {
+	if len(cands) <= n {
+		return cands
+	}
+	pool := append([]scoredTemplate(nil), cands...)
+	var out []scoredTemplate
+	for len(out) < n && len(pool) > 0 {
+		total := 0.0
+		for _, c := range pool {
+			total += c.score
+		}
+		pick := len(pool) - 1
+		if total > 0 {
+			r := rng.Float64() * total
+			acc := 0.0
+			for i, c := range pool {
+				acc += c.score
+				if r <= acc {
+					pick = i
+					break
+				}
+			}
+		} else {
+			pick = rng.Intn(len(pool))
+		}
+		out = append(out, pool[pick])
+		pool = append(pool[:pick], pool[pick+1:]...)
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+// Package spec models SQL template specifications (Definition 2.5): the
+// numerical and structural constraints a generated template must satisfy.
+// Specifications arrive as structured JSON (the Redset-style annotations of
+// §6.1), as natural-language instructions, or as a mix of both; this package
+// parses each form into one canonical Spec and checks templates against it.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"sqlbarber/internal/sqltemplate"
+)
+
+// Spec is one template specification. Nil pointer fields are unconstrained.
+type Spec struct {
+	TemplateID      int
+	NumTables       *int
+	NumJoins        *int
+	NumAggregations *int
+	NumPredicates   *int
+	NestedQuery     *bool
+	GroupBy         *bool
+	ComplexScalar   *bool
+	// Instructions preserves the raw natural-language fragments that
+	// produced this spec, for prompt construction.
+	Instructions []string
+}
+
+// Int returns an *int for literal construction.
+func Int(v int) *int { return &v }
+
+// Bool returns a *bool for literal construction.
+func Bool(v bool) *bool { return &v }
+
+// jsonSpec mirrors the Redset-style JSON annotation format.
+type jsonSpec struct {
+	TemplateID      int    `json:"template_id"`
+	NumTables       *int   `json:"num_tables_accessed,omitempty"`
+	NumJoins        *int   `json:"num_joins,omitempty"`
+	NumAggregations *int   `json:"num_aggregations,omitempty"`
+	NumPredicates   *int   `json:"num_predicates,omitempty"`
+	NestedQuery     *bool  `json:"nested_subquery,omitempty"`
+	GroupBy         *bool  `json:"group_by,omitempty"`
+	ComplexScalar   *bool  `json:"complex_scalar,omitempty"`
+	Instruction     string `json:"instruction,omitempty"`
+}
+
+// ParseJSON decodes a JSON array of specifications.
+func ParseJSON(data []byte) ([]Spec, error) {
+	var raw []jsonSpec
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	out := make([]Spec, len(raw))
+	for i, r := range raw {
+		s := Spec{
+			TemplateID:      r.TemplateID,
+			NumTables:       r.NumTables,
+			NumJoins:        r.NumJoins,
+			NumAggregations: r.NumAggregations,
+			NumPredicates:   r.NumPredicates,
+			NestedQuery:     r.NestedQuery,
+			GroupBy:         r.GroupBy,
+			ComplexScalar:   r.ComplexScalar,
+		}
+		if r.Instruction != "" {
+			s.Merge(FromNaturalLanguage(r.Instruction))
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// MarshalJSON renders the spec in the annotation format.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonSpec{
+		TemplateID:      s.TemplateID,
+		NumTables:       s.NumTables,
+		NumJoins:        s.NumJoins,
+		NumAggregations: s.NumAggregations,
+		NumPredicates:   s.NumPredicates,
+		NestedQuery:     s.NestedQuery,
+		GroupBy:         s.GroupBy,
+		ComplexScalar:   s.ComplexScalar,
+		Instruction:     strings.Join(s.Instructions, " "),
+	})
+}
+
+var (
+	reJoins      = regexp.MustCompile(`(\d+)\s+joins?\b`)
+	reAggs       = regexp.MustCompile(`(\d+)\s+aggregations?\b`)
+	rePreds      = regexp.MustCompile(`(\d+)\s+predicate`)
+	reTables     = regexp.MustCompile(`(?:access(?:es)?\s+)?(\d+)\s+tables?\b`)
+	reNoJoins    = regexp.MustCompile(`\bno\s+joins?\b|\bwithout\s+joins?\b`)
+	reNested     = regexp.MustCompile(`nested\s+(?:sub)?quer`)
+	reGroupBy    = regexp.MustCompile(`group\s*by`)
+	reComplexSca = regexp.MustCompile(`complex\s+scalar`)
+)
+
+// FromNaturalLanguage extracts constraints from a free-form instruction,
+// recognizing the constraint vocabulary of §6.1 (joins, aggregations,
+// predicates, tables, nested subqueries, GROUP BY, complex scalar
+// expressions).
+func FromNaturalLanguage(text string) Spec {
+	s := Spec{Instructions: []string{text}}
+	lower := strings.ToLower(text)
+	if m := reJoins.FindStringSubmatch(lower); m != nil {
+		n, _ := strconv.Atoi(m[1])
+		s.NumJoins = &n
+	}
+	if reNoJoins.MatchString(lower) {
+		zero := 0
+		s.NumJoins = &zero
+	}
+	if m := reAggs.FindStringSubmatch(lower); m != nil {
+		n, _ := strconv.Atoi(m[1])
+		s.NumAggregations = &n
+	}
+	if m := rePreds.FindStringSubmatch(lower); m != nil {
+		n, _ := strconv.Atoi(m[1])
+		s.NumPredicates = &n
+	}
+	if m := reTables.FindStringSubmatch(lower); m != nil {
+		n, _ := strconv.Atoi(m[1])
+		s.NumTables = &n
+	}
+	if reNested.MatchString(lower) {
+		t := true
+		s.NestedQuery = &t
+	}
+	if reGroupBy.MatchString(lower) {
+		t := true
+		s.GroupBy = &t
+	}
+	if reComplexSca.MatchString(lower) {
+		t := true
+		s.ComplexScalar = &t
+	}
+	return s
+}
+
+// Merge overlays constraints from other onto s (other wins where set).
+func (s *Spec) Merge(other Spec) {
+	if other.NumTables != nil {
+		s.NumTables = other.NumTables
+	}
+	if other.NumJoins != nil {
+		s.NumJoins = other.NumJoins
+	}
+	if other.NumAggregations != nil {
+		s.NumAggregations = other.NumAggregations
+	}
+	if other.NumPredicates != nil {
+		s.NumPredicates = other.NumPredicates
+	}
+	if other.NestedQuery != nil {
+		s.NestedQuery = other.NestedQuery
+	}
+	if other.GroupBy != nil {
+		s.GroupBy = other.GroupBy
+	}
+	if other.ComplexScalar != nil {
+		s.ComplexScalar = other.ComplexScalar
+	}
+	s.Instructions = append(s.Instructions, other.Instructions...)
+}
+
+// Check verifies features against the spec, returning whether it passes and
+// the list of violations (for the LLM's FixSemantics feedback).
+func (s Spec) Check(f sqltemplate.Features) (bool, []string) {
+	var v []string
+	chkInt := func(name string, want *int, got int) {
+		if want != nil && got != *want {
+			v = append(v, fmt.Sprintf("expected %d %s, template has %d", *want, name, got))
+		}
+	}
+	chkBool := func(name string, want *bool, got bool) {
+		if want == nil {
+			return
+		}
+		if *want && !got {
+			v = append(v, fmt.Sprintf("template must include %s", name))
+		}
+		if !*want && got {
+			v = append(v, fmt.Sprintf("template must not include %s", name))
+		}
+	}
+	chkInt("tables accessed", s.NumTables, f.NumTables)
+	chkInt("joins", s.NumJoins, f.NumJoins)
+	chkInt("aggregations", s.NumAggregations, f.NumAggregations)
+	chkInt("predicate placeholders", s.NumPredicates, f.NumPredicates)
+	chkBool("a nested subquery", s.NestedQuery, f.HasNestedQuery)
+	chkBool("a GROUP BY clause", s.GroupBy, f.HasGroupBy)
+	chkBool("complex scalar expressions", s.ComplexScalar, f.HasComplexScalar)
+	return len(v) == 0, v
+}
+
+// Describe renders the spec as the natural-language requirement block used
+// in LLM prompts.
+func (s Spec) Describe() string {
+	var parts []string
+	add := func(cond bool, f string, args ...any) {
+		if cond {
+			parts = append(parts, fmt.Sprintf(f, args...))
+		}
+	}
+	add(s.NumTables != nil, "access exactly %d tables", deref(s.NumTables))
+	add(s.NumJoins != nil, "contain exactly %d joins", deref(s.NumJoins))
+	add(s.NumAggregations != nil, "perform exactly %d aggregations", deref(s.NumAggregations))
+	add(s.NumPredicates != nil, "expose exactly %d predicate placeholders", deref(s.NumPredicates))
+	if s.NestedQuery != nil {
+		if *s.NestedQuery {
+			parts = append(parts, "include a nested subquery")
+		} else {
+			parts = append(parts, "avoid nested subqueries")
+		}
+	}
+	if s.GroupBy != nil {
+		if *s.GroupBy {
+			parts = append(parts, "use a GROUP BY clause")
+		} else {
+			parts = append(parts, "avoid GROUP BY")
+		}
+	}
+	if s.ComplexScalar != nil && *s.ComplexScalar {
+		parts = append(parts, "project complex scalar expressions")
+	}
+	if len(parts) == 0 {
+		return "The SQL template has no structural constraints."
+	}
+	return "The SQL template must " + strings.Join(parts, ", ") + "."
+}
+
+func deref(p *int) int {
+	if p == nil {
+		return 0
+	}
+	return *p
+}

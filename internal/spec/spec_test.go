@@ -1,0 +1,134 @@
+package spec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sqlbarber/internal/sqltemplate"
+)
+
+func TestFromNaturalLanguage(t *testing.T) {
+	s := FromNaturalLanguage("I want a complex SQL template that accesses 3 tables, includes 5 joins, and performs 3 aggregations.")
+	if s.NumTables == nil || *s.NumTables != 3 {
+		t.Errorf("tables: %+v", s.NumTables)
+	}
+	if s.NumJoins == nil || *s.NumJoins != 5 {
+		t.Errorf("joins: %+v", s.NumJoins)
+	}
+	if s.NumAggregations == nil || *s.NumAggregations != 3 {
+		t.Errorf("aggs: %+v", s.NumAggregations)
+	}
+}
+
+func TestFromNaturalLanguageBI(t *testing.T) {
+	s := FromNaturalLanguage("I want an SQL template with no joins but with complex scalar expressions")
+	if s.NumJoins == nil || *s.NumJoins != 0 {
+		t.Error("'no joins' must set joins=0")
+	}
+	if s.ComplexScalar == nil || !*s.ComplexScalar {
+		t.Error("complex scalar flag")
+	}
+}
+
+func TestFromNaturalLanguageInstructions(t *testing.T) {
+	cases := []struct {
+		text  string
+		check func(Spec) bool
+	}{
+		{"The SQL template should include a nested subquery.", func(s Spec) bool { return s.NestedQuery != nil && *s.NestedQuery }},
+		{"The SQL template should have exactly 3 predicate values.", func(s Spec) bool { return s.NumPredicates != nil && *s.NumPredicates == 3 }},
+		{"The SQL template should use the GROUP BY operator.", func(s Spec) bool { return s.GroupBy != nil && *s.GroupBy }},
+		{"use group by please", func(s Spec) bool { return s.GroupBy != nil && *s.GroupBy }},
+		{"without joins", func(s Spec) bool { return s.NumJoins != nil && *s.NumJoins == 0 }},
+	}
+	for _, c := range cases {
+		if !c.check(FromNaturalLanguage(c.text)) {
+			t.Errorf("instruction %q not parsed", c.text)
+		}
+	}
+}
+
+func TestParseJSON(t *testing.T) {
+	data := []byte(`[
+		{"template_id": 1, "num_joins": 3, "num_aggregations": 2},
+		{"template_id": 2, "num_tables_accessed": 2, "instruction": "Have a nested subquery"}
+	]`)
+	specs, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	if *specs[0].NumJoins != 3 || *specs[0].NumAggregations != 2 {
+		t.Error("spec 1 fields")
+	}
+	if specs[1].NestedQuery == nil || !*specs[1].NestedQuery {
+		t.Error("embedded instruction not merged")
+	}
+	if _, err := ParseJSON([]byte("{")); err == nil {
+		t.Error("invalid JSON must error")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := Spec{TemplateID: 4, NumJoins: Int(2), GroupBy: Bool(true)}
+	data, err := json.Marshal([]Spec{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back[0].NumJoins != 2 || !*back[0].GroupBy || back[0].TemplateID != 4 {
+		t.Fatalf("round trip: %+v", back[0])
+	}
+}
+
+func TestCheckViolations(t *testing.T) {
+	tm := sqltemplate.MustParse("SELECT a, COUNT(*) FROM t JOIN s ON t.id = s.tid WHERE a > {p_1} GROUP BY a")
+	f := tm.Features()
+	s := Spec{NumJoins: Int(1), NumAggregations: Int(1), NumPredicates: Int(1), GroupBy: Bool(true)}
+	ok, v := s.Check(f)
+	if !ok || len(v) != 0 {
+		t.Fatalf("should pass: %v", v)
+	}
+	s2 := Spec{NumJoins: Int(2), NestedQuery: Bool(true), GroupBy: Bool(false)}
+	ok, v = s2.Check(f)
+	if ok {
+		t.Fatal("should fail")
+	}
+	joined := strings.Join(v, "; ")
+	for _, want := range []string{"2 joins", "nested subquery", "must not include a GROUP BY"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations %q missing %q", joined, want)
+		}
+	}
+}
+
+func TestMergePrecedence(t *testing.T) {
+	a := Spec{NumJoins: Int(1), Instructions: []string{"base"}}
+	b := Spec{NumJoins: Int(3), GroupBy: Bool(true), Instructions: []string{"override"}}
+	a.Merge(b)
+	if *a.NumJoins != 3 || !*a.GroupBy {
+		t.Fatal("merge must let other win")
+	}
+	if len(a.Instructions) != 2 {
+		t.Fatal("instructions must accumulate")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Spec{NumJoins: Int(2), NumTables: Int(3), NestedQuery: Bool(true), ComplexScalar: Bool(true)}
+	d := s.Describe()
+	for _, want := range []string{"exactly 2 joins", "exactly 3 tables", "nested subquery", "complex scalar"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe() %q missing %q", d, want)
+		}
+	}
+	if got := (Spec{}).Describe(); !strings.Contains(got, "no structural constraints") {
+		t.Errorf("empty describe: %q", got)
+	}
+}

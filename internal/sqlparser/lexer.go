@@ -1,0 +1,188 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sqlbarber/internal/sqltypes"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokPlaceholder
+	tokOp    // operators and punctuation
+	tokParam // unused reserve
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents as written
+	val  sqltypes.Value
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "JOIN": true,
+	"INNER": true, "LEFT": true, "OUTER": true, "ON": true, "AND": true,
+	"OR": true, "NOT": true, "IN": true, "EXISTS": true, "BETWEEN": true,
+	"LIKE": true, "IS": true, "NULL": true, "DISTINCT": true, "CASE": true,
+	"WHEN": true, "THEN": true, "ELSE": true, "END": true, "ASC": true,
+	"DESC": true, "TRUE": true, "FALSE": true, "UNIQUE": true,
+}
+
+// SyntaxError is the error returned for malformed SQL; its message mimics a
+// DBMS error so Algorithm 1's FixExecution sees realistic feedback.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("syntax error at or near position %d: %s", e.Pos, e.Msg)
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) *SyntaxError {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start}, nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		seenDot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if isDigit(ch) {
+				l.pos++
+				continue
+			}
+			if ch == '.' && !seenDot {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if ch == 'e' || ch == 'E' {
+				// scientific notation
+				j := l.pos + 1
+				if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+					j++
+				}
+				if j < len(l.src) && isDigit(l.src[j]) {
+					l.pos = j
+					seenDot = true
+					continue
+				}
+			}
+			break
+		}
+		text := l.src[start:l.pos]
+		if !seenDot {
+			n, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return token{}, l.errf(start, "invalid integer literal %q", text)
+			}
+			return token{kind: tokNumber, text: text, val: sqltypes.NewInt(n), pos: start}, nil
+		}
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, l.errf(start, "invalid numeric literal %q", text)
+		}
+		return token{kind: tokNumber, text: text, val: sqltypes.NewFloat(f), pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errf(start, "unterminated string literal")
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+		return token{kind: tokString, text: b.String(), val: sqltypes.NewString(b.String()), pos: start}, nil
+	case c == '{':
+		end := strings.IndexByte(l.src[l.pos:], '}')
+		if end < 0 {
+			return token{}, l.errf(start, "unterminated placeholder")
+		}
+		name := strings.TrimSpace(l.src[l.pos+1 : l.pos+end])
+		if name == "" {
+			return token{}, l.errf(start, "empty placeholder")
+		}
+		l.pos += end + 1
+		return token{kind: tokPlaceholder, text: name, pos: start}, nil
+	default:
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "<>", "!=":
+			l.pos += 2
+			if two == "!=" {
+				two = "<>"
+			}
+			return token{kind: tokOp, text: two, pos: start}, nil
+		}
+		switch c {
+		case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', '.', ';':
+			l.pos++
+			return token{kind: tokOp, text: string(c), pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected character %q", string(c))
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,101 @@
+// Package stats provides the statistical machinery SQLBarber is built on:
+// cost intervals, target cost distributions, the Wasserstein (earth mover's)
+// distance of Definition 2.12, and Latin Hypercube Sampling (§5.1).
+package stats
+
+import (
+	"fmt"
+)
+
+// Interval is one half-open cost interval [Lo, Hi).
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether c falls in [Lo, Hi).
+func (iv Interval) Contains(c float64) bool { return c >= iv.Lo && c < iv.Hi }
+
+// Center returns the interval midpoint.
+func (iv Interval) Center() float64 { return (iv.Lo + iv.Hi) / 2 }
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// String renders the interval like "2.0k-3.0k" as in the paper's figures.
+func (iv Interval) String() string {
+	return fmt.Sprintf("%.1fk-%.1fk", iv.Lo/1000, iv.Hi/1000)
+}
+
+// Dist returns the distance from c to the interval: 0 inside, (Lo-c) below,
+// (c-Hi) above — the dist() of Equation (3).
+func (iv Interval) Dist(c float64) float64 {
+	switch {
+	case c < iv.Lo:
+		return iv.Lo - c
+	case c >= iv.Hi:
+		return c - iv.Hi
+	}
+	return 0
+}
+
+// Intervals is an ordered partition of a cost range.
+type Intervals []Interval
+
+// SplitRange partitions [lo, hi) into n equal-width intervals.
+func SplitRange(lo, hi float64, n int) Intervals {
+	if n <= 0 || hi <= lo {
+		return nil
+	}
+	out := make(Intervals, n)
+	w := (hi - lo) / float64(n)
+	for i := 0; i < n; i++ {
+		out[i] = Interval{Lo: lo + float64(i)*w, Hi: lo + float64(i+1)*w}
+	}
+	out[n-1].Hi = hi
+	return out
+}
+
+// Index returns the interval index containing cost c, or -1 when c is
+// outside the covered range. Costs exactly at the top boundary map to the
+// last interval so the range is effectively closed on the right.
+func (ivs Intervals) Index(c float64) int {
+	if len(ivs) == 0 {
+		return -1
+	}
+	if c == ivs[len(ivs)-1].Hi {
+		return len(ivs) - 1
+	}
+	if c < ivs[0].Lo || c > ivs[len(ivs)-1].Hi {
+		return -1
+	}
+	lo, hi := 0, len(ivs)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch {
+		case c < ivs[mid].Lo:
+			hi = mid - 1
+		case c >= ivs[mid].Hi:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
+// Lo returns the lower bound of the whole range.
+func (ivs Intervals) Lo() float64 { return ivs[0].Lo }
+
+// Hi returns the upper bound of the whole range.
+func (ivs Intervals) Hi() float64 { return ivs[len(ivs)-1].Hi }
+
+// CountInto bins the costs into per-interval counts.
+func (ivs Intervals) CountInto(costs []float64) []int {
+	counts := make([]int, len(ivs))
+	for _, c := range costs {
+		if j := ivs.Index(c); j >= 0 {
+			counts[j]++
+		}
+	}
+	return counts
+}

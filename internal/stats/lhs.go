@@ -1,0 +1,39 @@
+package stats
+
+import "math/rand"
+
+// LatinHypercube draws n samples in [0,1)^dims using Latin Hypercube
+// Sampling: each dimension is split into n strata and every stratum is hit
+// exactly once, with an independent random permutation per dimension. This
+// is the space-filling sampler of §5.1.
+func LatinHypercube(rng *rand.Rand, n, dims int) [][]float64 {
+	if n <= 0 || dims <= 0 {
+		return nil
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, dims)
+	}
+	for d := 0; d < dims; d++ {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			out[i][d] = (float64(perm[i]) + rng.Float64()) / float64(n)
+		}
+	}
+	return out
+}
+
+// IndependentUniform draws n samples in [0,1)^dims with independent uniform
+// sampling per dimension. Used by the LHS ablation benchmark as the
+// non-space-filling alternative.
+func IndependentUniform(rng *rand.Rand, n, dims int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		row := make([]float64, dims)
+		for d := range row {
+			row[d] = rng.Float64()
+		}
+		out[i] = row
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+// Package storage implements the in-memory row store backing the embedded
+// SQL engine, including the ANALYZE pass that populates optimizer statistics
+// in the catalog.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"sqlbarber/internal/catalog"
+	"sqlbarber/internal/sqltypes"
+)
+
+// Row is one tuple; columns are positional per the table schema.
+type Row []sqltypes.Value
+
+// Table couples a catalog schema entry with its rows.
+type Table struct {
+	Meta *catalog.Table
+	Rows []Row
+}
+
+// Append adds a row, panicking on arity mismatch (programming error).
+func (t *Table) Append(r Row) {
+	if len(r) != len(t.Meta.Columns) {
+		panic(fmt.Sprintf("storage: row arity %d != %d columns of %s", len(r), len(t.Meta.Columns), t.Meta.Name))
+	}
+	t.Rows = append(t.Rows, r)
+}
+
+// Database is a named collection of tables plus the catalog schema.
+type Database struct {
+	Schema *catalog.Schema
+	tables map[string]*Table
+}
+
+// NewDatabase creates an empty database around a schema, allocating a table
+// container per schema table.
+func NewDatabase(schema *catalog.Schema) *Database {
+	db := &Database{Schema: schema, tables: map[string]*Table{}}
+	for _, t := range schema.Tables {
+		db.tables[lower(t.Name)] = &Table{Meta: t}
+	}
+	return db
+}
+
+// Table returns the named table, or nil. Case-insensitive.
+func (db *Database) Table(name string) *Table { return db.tables[lower(name)] }
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// maxMCV is how many most-common values ANALYZE records per column.
+const maxMCV = 5
+
+// histogramBuckets is the number of equi-depth histogram buckets.
+const histogramBuckets = 32
+
+// Analyze recomputes row counts, sizes, and per-column statistics for every
+// table, mirroring PostgreSQL's ANALYZE. It must be called after bulk loads
+// so the planner sees fresh statistics.
+func (db *Database) Analyze() {
+	for _, t := range db.tables {
+		analyzeTable(t)
+	}
+}
+
+func analyzeTable(t *Table) {
+	meta := t.Meta
+	meta.RowCount = len(t.Rows)
+	var width int64
+	for i := range meta.Columns {
+		col := &meta.Columns[i]
+		st := analyzeColumn(t.Rows, i, col.Type)
+		col.Stats = st
+		switch col.Type {
+		case catalog.TypeString:
+			width += 24
+		default:
+			width += 8
+		}
+	}
+	meta.SizeBytes = width * int64(len(t.Rows))
+}
+
+func analyzeColumn(rows []Row, idx int, typ catalog.ColumnType) catalog.ColumnStats {
+	var st catalog.ColumnStats
+	if len(rows) == 0 {
+		return st
+	}
+	counts := map[sqltypes.Value]int{}
+	nulls := 0
+	var numeric []float64
+	for _, r := range rows {
+		v := r[idx]
+		if v.IsNull() {
+			nulls++
+			continue
+		}
+		counts[v]++
+		if st.NDistinct == 0 || v.Compare(st.Min) < 0 {
+			st.Min = v
+		}
+		if st.NDistinct == 0 || v.Compare(st.Max) > 0 {
+			st.Max = v
+		}
+		st.NDistinct = len(counts)
+		if typ != catalog.TypeString {
+			numeric = append(numeric, v.Float())
+		}
+	}
+	st.NullFrac = float64(nulls) / float64(len(rows))
+	st.MostCommon = topValues(counts, len(rows))
+	if len(numeric) >= histogramBuckets {
+		sort.Float64s(numeric)
+		st.Histogram = make([]float64, histogramBuckets+1)
+		for b := 0; b <= histogramBuckets; b++ {
+			pos := b * (len(numeric) - 1) / histogramBuckets
+			st.Histogram[b] = numeric[pos]
+		}
+	}
+	return st
+}
+
+func topValues(counts map[sqltypes.Value]int, total int) []catalog.ValueFreq {
+	type vc struct {
+		v sqltypes.Value
+		c int
+	}
+	all := make([]vc, 0, len(counts))
+	for v, c := range counts {
+		all = append(all, vc{v, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].v.Compare(all[j].v) < 0
+	})
+	n := maxMCV
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]catalog.ValueFreq, 0, n)
+	for _, e := range all[:n] {
+		// Only record values that are genuinely common; a flat column
+		// gains nothing from MCVs.
+		if float64(e.c)/float64(total) < 0.01 {
+			break
+		}
+		out = append(out, catalog.ValueFreq{Value: e.v, Freq: float64(e.c) / float64(total)})
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"testing"
+
+	"sqlbarber/internal/catalog"
+	"sqlbarber/internal/sqltypes"
+)
+
+func buildDB(t *testing.T) *Database {
+	t.Helper()
+	schema := &catalog.Schema{
+		Name: "t",
+		Tables: []*catalog.Table{{
+			Name: "data",
+			Columns: []catalog.Column{
+				{Name: "id", Type: catalog.TypeInt},
+				{Name: "grp", Type: catalog.TypeString},
+				{Name: "val", Type: catalog.TypeFloat},
+			},
+		}},
+	}
+	db := NewDatabase(schema)
+	tbl := db.Table("data")
+	for i := 0; i < 100; i++ {
+		grp := "a"
+		if i%10 == 0 {
+			grp = "hot" // 10% frequency -> must show in MCVs
+		}
+		val := sqltypes.NewFloat(float64(i))
+		if i == 99 {
+			val = sqltypes.Null
+		}
+		tbl.Append(Row{sqltypes.NewInt(int64(i + 1)), sqltypes.NewString(grp), val})
+	}
+	db.Analyze()
+	return db
+}
+
+func TestAnalyzeRowCountAndSize(t *testing.T) {
+	db := buildDB(t)
+	meta := db.Schema.Table("data")
+	if meta.RowCount != 100 {
+		t.Fatalf("RowCount = %d", meta.RowCount)
+	}
+	if meta.SizeBytes <= 0 {
+		t.Fatal("SizeBytes must be positive")
+	}
+}
+
+func TestAnalyzeColumnStats(t *testing.T) {
+	db := buildDB(t)
+	id := db.Schema.Table("data").Column("id")
+	if id.Stats.NDistinct != 100 {
+		t.Fatalf("id ndistinct = %d", id.Stats.NDistinct)
+	}
+	if id.Stats.Min.Int() != 1 || id.Stats.Max.Int() != 100 {
+		t.Fatalf("id min/max = %v/%v", id.Stats.Min, id.Stats.Max)
+	}
+	if len(id.Stats.Histogram) == 0 {
+		t.Fatal("id should have a histogram (100 values > 32 buckets)")
+	}
+	if id.Stats.Histogram[0] != 1 || id.Stats.Histogram[len(id.Stats.Histogram)-1] != 100 {
+		t.Fatalf("histogram bounds: %v", id.Stats.Histogram)
+	}
+}
+
+func TestAnalyzeNullFraction(t *testing.T) {
+	db := buildDB(t)
+	val := db.Schema.Table("data").Column("val")
+	if val.Stats.NullFrac != 0.01 {
+		t.Fatalf("val nullfrac = %v, want 0.01", val.Stats.NullFrac)
+	}
+	if val.Stats.NDistinct != 99 {
+		t.Fatalf("val ndistinct = %d (nulls must not count)", val.Stats.NDistinct)
+	}
+}
+
+func TestAnalyzeMostCommonValues(t *testing.T) {
+	db := buildDB(t)
+	grp := db.Schema.Table("data").Column("grp")
+	if len(grp.Stats.MostCommon) == 0 {
+		t.Fatal("grp must have MCVs")
+	}
+	top := grp.Stats.MostCommon[0]
+	if top.Value.Str() != "a" || top.Freq != 0.9 {
+		t.Fatalf("top MCV = %v freq %v, want a/0.9", top.Value, top.Freq)
+	}
+	found := false
+	for _, mv := range grp.Stats.MostCommon {
+		if mv.Value.Str() == "hot" && mv.Freq == 0.1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hot value missing from MCVs: %+v", grp.Stats.MostCommon)
+	}
+}
+
+func TestAppendArityPanics(t *testing.T) {
+	db := buildDB(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("appending a short row must panic")
+		}
+	}()
+	db.Table("data").Append(Row{sqltypes.NewInt(1)})
+}
+
+func TestTableLookupCaseInsensitive(t *testing.T) {
+	db := buildDB(t)
+	if db.Table("DATA") == nil || db.Table("Data") == nil {
+		t.Fatal("storage table lookup must be case-insensitive")
+	}
+	if db.Table("nope") != nil {
+		t.Fatal("unknown table must be nil")
+	}
+}
+
+func TestAnalyzeEmptyTable(t *testing.T) {
+	schema := &catalog.Schema{Name: "e", Tables: []*catalog.Table{{
+		Name:    "empty",
+		Columns: []catalog.Column{{Name: "x", Type: catalog.TypeInt}},
+	}}}
+	db := NewDatabase(schema)
+	db.Analyze()
+	meta := db.Schema.Table("empty")
+	if meta.RowCount != 0 {
+		t.Fatal("empty table rowcount")
+	}
+	if meta.Columns[0].Stats.NDistinct != 0 {
+		t.Fatal("empty table stats must be zero")
+	}
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"sqlbarber/internal/stats"
+)
+
+// Manifest is the JSON serialization of a generated workload: the queries,
+// their costs, and the target they were generated against — everything a
+// benchmarking harness downstream needs to replay and verify the workload.
+type Manifest struct {
+	// CostKind names the cost metric the costs were measured under.
+	CostKind string `json:"cost_kind"`
+	// RangeLo/RangeHi bound the target cost range.
+	RangeLo float64 `json:"range_lo"`
+	RangeHi float64 `json:"range_hi"`
+	// TargetCounts is the per-interval target histogram.
+	TargetCounts []int `json:"target_counts"`
+	// Distance is the achieved Wasserstein distance.
+	Distance float64 `json:"wasserstein_distance"`
+	// Queries is the workload body.
+	Queries []Query `json:"queries"`
+}
+
+// NewManifest assembles a manifest from a generated workload.
+func NewManifest(costKind string, target *stats.TargetDistribution, queries []Query) *Manifest {
+	return &Manifest{
+		CostKind:     costKind,
+		RangeLo:      target.Intervals.Lo(),
+		RangeHi:      target.Intervals.Hi(),
+		TargetCounts: append([]int(nil), target.Counts...),
+		Distance:     Distance(queries, target),
+		Queries:      queries,
+	}
+}
+
+// Target reconstructs the manifest's target distribution.
+func (m *Manifest) Target() *stats.TargetDistribution {
+	return &stats.TargetDistribution{
+		Intervals: stats.SplitRange(m.RangeLo, m.RangeHi, len(m.TargetCounts)),
+		Counts:    append([]int(nil), m.TargetCounts...),
+	}
+}
+
+// WriteJSON serializes the manifest.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadJSON deserializes a manifest.
+func ReadJSON(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("workload: decoding manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// WriteSQL renders the workload as an annotated .sql file: one statement per
+// query with its template id and measured cost in a leading comment.
+func WriteSQL(w io.Writer, costKind string, queries []Query) error {
+	bw := bufio.NewWriter(w)
+	for _, q := range queries {
+		if _, err := fmt.Fprintf(bw, "-- template=%d %s=%.2f\n%s;\n", q.TemplateID, costKind, q.Cost, q.SQL); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSQL parses a WriteSQL-formatted stream back into queries (costs are
+// recovered from the annotations; statements end at `;`).
+func ReadSQL(r io.Reader) ([]Query, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Query
+	var cur Query
+	var body strings.Builder
+	flush := func() {
+		if body.Len() > 0 {
+			cur.SQL = strings.TrimSuffix(strings.TrimSpace(body.String()), ";")
+			out = append(out, cur)
+			cur = Query{}
+			body.Reset()
+		}
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "--") {
+			flush()
+			fmt.Sscanf(line, "-- template=%d", &cur.TemplateID)
+			if i := strings.LastIndexByte(line, '='); i >= 0 {
+				fmt.Sscanf(line[i+1:], "%f", &cur.Cost)
+			}
+			continue
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		body.WriteString(line)
+		body.WriteByte('\n')
+		if strings.HasSuffix(strings.TrimSpace(line), ";") {
+			flush()
+		}
+	}
+	flush()
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading SQL: %w", err)
+	}
+	return out, nil
+}
+
+// Histogram renders a text histogram of the workload's costs against the
+// target, as printed by the examples and the CLI.
+func Histogram(w io.Writer, target *stats.TargetDistribution, queries []Query) {
+	costs := make([]float64, len(queries))
+	for i, q := range queries {
+		costs[i] = q.Cost
+	}
+	counts := target.Intervals.CountInto(costs)
+	for j, iv := range target.Intervals {
+		bar := strings.Repeat("#", (counts[j]+3)/4)
+		fmt.Fprintf(w, "  %-14s %5d / %5d %s\n", iv, counts[j], target.Counts[j], bar)
+	}
+}

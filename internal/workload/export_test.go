@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sqlbarber/internal/stats"
+)
+
+func sampleQueries() []Query {
+	return []Query{
+		{SQL: "SELECT a FROM t WHERE a > 1", Cost: 12.5, TemplateID: 1},
+		{SQL: "SELECT b FROM s WHERE b < 9", Cost: 77, TemplateID: 2},
+	}
+}
+
+func TestManifestJSONRoundTrip(t *testing.T) {
+	target := stats.Uniform(0, 100, 4, 2)
+	m := NewManifest("cardinality", target, sampleQueries())
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.CostKind != "cardinality" || len(back.Queries) != 2 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if back.Queries[0].SQL != m.Queries[0].SQL || back.Queries[1].Cost != 77 {
+		t.Fatal("query payload mangled")
+	}
+	rt := back.Target()
+	if rt.Total() != target.Total() || len(rt.Intervals) != 4 {
+		t.Fatalf("target reconstruction: %+v", rt)
+	}
+	if rt.Intervals.Hi() != 100 {
+		t.Fatal("range bounds lost")
+	}
+}
+
+func TestReadJSONError(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("invalid JSON must error")
+	}
+}
+
+func TestSQLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSQL(&buf, "plan_cost", sampleQueries()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "-- template=1 plan_cost=12.50") {
+		t.Fatalf("annotation missing:\n%s", text)
+	}
+	back, err := ReadSQL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("read %d queries", len(back))
+	}
+	if back[0].SQL != "SELECT a FROM t WHERE a > 1" || back[0].TemplateID != 1 || back[0].Cost != 12.5 {
+		t.Fatalf("first query: %+v", back[0])
+	}
+	if back[1].Cost != 77 {
+		t.Fatalf("second query: %+v", back[1])
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	target := stats.Uniform(0, 100, 2, 4)
+	var buf bytes.Buffer
+	Histogram(&buf, target, sampleQueries())
+	out := buf.String()
+	if !strings.Contains(out, "0.0k-0.1k") && !strings.Contains(out, "0.0k-0.0k") {
+		t.Fatalf("histogram labels missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 2 {
+		t.Fatalf("histogram must have one line per interval:\n%s", out)
+	}
+}
