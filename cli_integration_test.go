@@ -2,6 +2,7 @@ package sqlbarber
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -80,6 +81,41 @@ func TestCLIJSONOutput(t *testing.T) {
 	for _, want := range []string{`"cost_kind": "cardinality"`, `"queries"`, `"wasserstein_distance"`} {
 		if !strings.Contains(string(out), want) {
 			t.Fatalf("JSON output missing %s:\n%.300s", want, out)
+		}
+	}
+}
+
+// TestCLIBarbervet builds the repo linter and checks both halves of its
+// contract: the real tree passes clean (exit 0) and the badpkg fixture —
+// which violates every rule — fails with a non-zero exit naming each code.
+func TestCLIBarbervet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "barbervet")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/barbervet").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	// The production tree must be clean.
+	if out, err := exec.Command(bin, "./...").CombinedOutput(); err != nil {
+		t.Fatalf("barbervet flags the real tree: %v\n%s", err, out)
+	}
+
+	// The known-bad fixture must fail with findings for every rule.
+	fixture := filepath.Join("cmd", "barbervet", "testdata", "internal", "badpkg")
+	out, err := exec.Command(bin, fixture).CombinedOutput()
+	if err == nil {
+		t.Fatalf("barbervet accepted the bad fixture:\n%s", out)
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Fatalf("want exit code 1, got %v\n%s", err, out)
+	}
+	for _, code := range []string{"R001", "R002", "R003", "R004"} {
+		if !strings.Contains(string(out), code) {
+			t.Errorf("fixture output missing rule %s:\n%s", code, out)
 		}
 	}
 }

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestFixtureTripsEveryRule asserts the badpkg fixture produces all four
+// rule codes.
+func TestFixtureTripsEveryRule(t *testing.T) {
+	findings, err := LintDir(filepath.Join("testdata", "internal", "badpkg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, f := range findings {
+		got[f.Code]++
+		if f.Pos.Filename == "" || f.Pos.Line == 0 {
+			t.Errorf("finding %s has no position", f.Code)
+		}
+	}
+	want := map[string]int{"R001": 1, "R002": 1, "R003": 2, "R004": 1}
+	for code, n := range want {
+		if got[code] != n {
+			t.Errorf("rule %s fired %d time(s), want %d (all: %v)", code, got[code], n, got)
+		}
+	}
+	if len(findings) != 5 {
+		t.Errorf("total findings = %d, want 5: %v", len(findings), findings)
+	}
+}
+
+// TestLinterIsCleanOnItself asserts barbervet's own sources pass.
+func TestLinterIsCleanOnItself(t *testing.T) {
+	findings, err := LintDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("barbervet flags itself: %v", findings)
+	}
+}
+
+// TestExpandPatternSkipsTestdata asserts ./... never descends into fixture
+// or hidden directories.
+func TestExpandPatternSkipsTestdata(t *testing.T) {
+	dirs, err := expandPattern("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if filepath.Base(d) == "badpkg" {
+			t.Fatalf("pattern expansion descended into testdata: %v", dirs)
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no directories found")
+	}
+}
+
+// TestClassifyDir checks testdata-aware path classification.
+func TestClassifyDir(t *testing.T) {
+	// Absolute paths keep the test independent of the working directory.
+	cases := []struct {
+		path              string
+		inInternal, inCmd bool
+	}{
+		{"/repo/internal/bo", true, false},
+		{"/repo/cmd/barbervet", false, true},
+		{"/repo/cmd/barbervet/testdata/internal/badpkg", true, false},
+		{"/repo", false, false},
+	}
+	for _, tc := range cases {
+		gotInt, gotCmd := classifyDir(tc.path)
+		if gotInt != tc.inInternal || gotCmd != tc.inCmd {
+			t.Errorf("classifyDir(%q) = (%v, %v), want (%v, %v)",
+				tc.path, gotInt, gotCmd, tc.inInternal, tc.inCmd)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command barbervet is SQLBarber's repo linter: a small go/ast-based
+// analyzer enforcing project conventions that `go vet` does not cover.
+//
+// Checks (each with a stable code, mirroring internal/analyzer's style):
+//
+//	R001  unseeded math/rand: calls to the package-level math/rand functions
+//	      (rand.Intn, rand.Float64, ...) inside internal/ packages. Every
+//	      source of randomness must flow from a seeded rand.New so paper
+//	      experiments stay reproducible.
+//	R002  fmt.Print/Printf/Println outside cmd/ and tests: library code must
+//	      return values or accept an io.Writer, never print to stdout.
+//	R003  mutex copy: a function takes a same-package struct containing a
+//	      sync.Mutex/RWMutex by value (receiver or parameter), which copies
+//	      the lock.
+//	R004  ignored engine.DB error: an error-returning DB method (Explain,
+//	      Execute, Cost, SaveSnapshot) called as a bare statement, dropping
+//	      the error. (Syntactic heuristic: flags these method names on any
+//	      receiver; the repo reserves them for engine.DB.)
+//
+// Usage:
+//
+//	barbervet ./...          # lint the whole module
+//	barbervet internal/bo    # lint one directory
+//
+// Exits 1 when any finding is reported, 0 otherwise.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var dirs []string
+	for _, a := range args {
+		d, err := expandPattern(a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "barbervet: %v\n", err)
+			os.Exit(2)
+		}
+		dirs = append(dirs, d...)
+	}
+	var findings []Finding
+	for _, dir := range dirs {
+		fs, err := LintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "barbervet: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: %s %s\n", f.Pos, f.Code, f.Msg)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "barbervet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7queries|fig7intervals|fig8a|fig8b|table2|all")
+		exp     = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7queries|fig7intervals|fig8a|fig8b|table2|analyzer|all")
 		scale   = flag.String("scale", "quick", "scale: quick|full")
 		seed    = flag.Int64("seed", 1, "random seed")
 		methods = flag.String("methods", "", "comma-separated method subset (default: all five)")
@@ -133,6 +133,7 @@ func main() {
 	})
 	run("fig8b", func() error { _, err := r.RunFigure8Ablation(w); return err })
 	run("table2", func() error { _, err := r.RunTable2(w); return err })
+	run("analyzer", func() error { _, err := r.RunAnalyzerSavings(w); return err })
 }
 
 // figure7Methods reduces to the three-series legend of Figure 7

@@ -1,0 +1,361 @@
+package analyzer_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sqlbarber/internal/analyzer"
+	"sqlbarber/internal/catalog"
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/spec"
+	"sqlbarber/internal/sqlparser"
+)
+
+// testSchema is a two-table shop schema with an FK edge, enough to exercise
+// every pass.
+func testSchema() *catalog.Schema {
+	return &catalog.Schema{
+		Name: "shop",
+		Tables: []*catalog.Table{
+			{
+				Name: "users", PrimaryKey: "id", RowCount: 100,
+				Columns: []catalog.Column{
+					{Name: "id", Type: catalog.TypeInt},
+					{Name: "name", Type: catalog.TypeString},
+					{Name: "age", Type: catalog.TypeInt},
+					{Name: "city", Type: catalog.TypeString},
+				},
+			},
+			{
+				Name: "orders", PrimaryKey: "id", RowCount: 1000,
+				ForeignKeys: []catalog.ForeignKey{
+					{Column: "user_id", RefTable: "users", RefColumn: "id"},
+				},
+				Columns: []catalog.Column{
+					{Name: "id", Type: catalog.TypeInt},
+					{Name: "user_id", Type: catalog.TypeInt},
+					{Name: "amount", Type: catalog.TypeFloat},
+					{Name: "status", Type: catalog.TypeString},
+				},
+			},
+		},
+	}
+}
+
+func hasCode(rep analyzer.Report, code analyzer.Code) bool {
+	for _, d := range rep.Diagnostics {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// TestEachCodeFires runs one minimal bad template per diagnostic code and
+// asserts exactly that code (at the expected severity) is produced.
+func TestEachCodeFires(t *testing.T) {
+	sp := func(s spec.Spec) *spec.Spec { return &s }
+	cases := []struct {
+		name string
+		sql  string
+		spec *spec.Spec
+		code analyzer.Code
+		sev  analyzer.Severity
+	}{
+		{"parse error", "SELEC name FORM users", nil, analyzer.CodeParseError, analyzer.Error},
+		{"unknown table", "SELECT name FROM userz", nil, analyzer.CodeUnknownTable, analyzer.Error},
+		{"unknown qualifier", "SELECT x.name FROM users u", nil, analyzer.CodeUnknownTable, analyzer.Error},
+		{"unknown column", "SELECT u.nam FROM users u", nil, analyzer.CodeUnknownColumn, analyzer.Error},
+		{"ambiguous column", "SELECT id FROM users u JOIN orders o ON o.user_id = u.id", nil, analyzer.CodeAmbiguousColumn, analyzer.Error},
+		{"duplicate table", "SELECT u.id FROM users u JOIN users u ON u.id = u.id", nil, analyzer.CodeDuplicateTable, analyzer.Error},
+		{"missing FROM", "SELECT 1", nil, analyzer.CodeMissingFrom, analyzer.Error},
+		{"comparison type mismatch", "SELECT name FROM users WHERE age = 'abc'", nil, analyzer.CodeComparisonTypeMismatch, analyzer.Error},
+		{"between type mismatch", "SELECT name FROM users WHERE name BETWEEN 1 AND 5", nil, analyzer.CodeComparisonTypeMismatch, analyzer.Error},
+		{"aggregate arg type", "SELECT SUM(name) FROM users", nil, analyzer.CodeAggregateArgType, analyzer.Error},
+		{"ungrouped column", "SELECT city, name FROM users GROUP BY city", nil, analyzer.CodeUngroupedColumn, analyzer.Warning},
+		{"aggregate in WHERE", "SELECT name FROM users WHERE SUM(age) > 10", nil, analyzer.CodeAggregateInWhere, analyzer.Error},
+		{"nested aggregate", "SELECT SUM(AVG(age)) FROM users", nil, analyzer.CodeNestedAggregate, analyzer.Error},
+		{"HAVING without group", "SELECT name FROM users HAVING age > 10", nil, analyzer.CodeHavingWithoutGroup, analyzer.Error},
+		{"aggregate in GROUP BY", "SELECT city FROM users GROUP BY COUNT(*)", nil, analyzer.CodeAggregateInGroupBy, analyzer.Error},
+		{"cartesian join", "SELECT u.name FROM users u JOIN orders o ON o.id = o.user_id", nil, analyzer.CodeCartesianJoin, analyzer.Warning},
+		{"degenerate join", "SELECT u.name FROM users u JOIN orders o ON 1 = 1", nil, analyzer.CodeDegenerateJoin, analyzer.Warning},
+		{"always false", "SELECT name FROM users WHERE 1 = 2", nil, analyzer.CodeAlwaysFalse, analyzer.Warning},
+		{"empty BETWEEN", "SELECT name FROM users WHERE age BETWEEN 9 AND 3", nil, analyzer.CodeAlwaysFalse, analyzer.Warning},
+		{"contradiction", "SELECT name FROM users WHERE age > 9 AND age < 3", nil, analyzer.CodeContradiction, analyzer.Warning},
+		{"constant predicate", "SELECT name FROM users WHERE 1 = 1", nil, analyzer.CodeConstantPredic, analyzer.Info},
+		{"unsargable placeholder", "SELECT name FROM users WHERE age + 1 = {p1}", nil, analyzer.CodeUnsargable, analyzer.Error},
+		{"misplaced placeholder", "SELECT {p1} FROM users", nil, analyzer.CodeMisplacedMarker, analyzer.Error},
+		{"spec tables", "SELECT name FROM users WHERE age > {p1}",
+			sp(spec.Spec{NumTables: spec.Int(2)}), analyzer.CodeSpecTables, analyzer.Error},
+		{"spec joins", "SELECT name FROM users WHERE age > {p1}",
+			sp(spec.Spec{NumJoins: spec.Int(1)}), analyzer.CodeSpecJoins, analyzer.Error},
+		{"spec aggregations", "SELECT name FROM users WHERE age > {p1}",
+			sp(spec.Spec{NumAggregations: spec.Int(1)}), analyzer.CodeSpecAggregations, analyzer.Error},
+		{"spec predicates", "SELECT name FROM users WHERE age > {p1}",
+			sp(spec.Spec{NumPredicates: spec.Int(2)}), analyzer.CodeSpecPredicates, analyzer.Error},
+		{"spec nested query", "SELECT name FROM users WHERE age > {p1}",
+			sp(spec.Spec{NestedQuery: spec.Bool(true)}), analyzer.CodeSpecNestedQuery, analyzer.Error},
+		{"spec group by", "SELECT name FROM users WHERE age > {p1}",
+			sp(spec.Spec{GroupBy: spec.Bool(true)}), analyzer.CodeSpecGroupBy, analyzer.Error},
+		{"spec complex scalar", "SELECT name FROM users WHERE age > {p1}",
+			sp(spec.Spec{ComplexScalar: spec.Bool(true)}), analyzer.CodeSpecComplexScalar, analyzer.Error},
+	}
+	a := analyzer.New(testSchema())
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := a.AnalyzeSQL(tc.sql, tc.spec)
+			if !hasCode(rep, tc.code) {
+				t.Fatalf("want code %s, got %v", tc.code, rep.Diagnostics)
+			}
+			for _, d := range rep.Diagnostics {
+				if d.Code == tc.code && d.Severity != tc.sev {
+					t.Fatalf("code %s has severity %s, want %s", tc.code, d.Severity, tc.sev)
+				}
+			}
+		})
+	}
+}
+
+// TestCleanTemplatesStaySilent asserts well-formed templates produce no Error
+// diagnostics (warnings/info allowed only where noted; these produce none).
+func TestCleanTemplatesStaySilent(t *testing.T) {
+	clean := []string{
+		"SELECT name FROM users WHERE age > {p1}",
+		// Note HAVING COUNT(*) > {p1} would be flagged H001: BindPlaceholders
+		// only binds placeholders compared against columns, so the analyzer is
+		// right to reject aggregate-compared placeholders.
+		"SELECT u.city, COUNT(*) FROM users u WHERE u.age > {p1} GROUP BY u.city",
+		"SELECT u.name, o.amount FROM users u JOIN orders o ON o.user_id = u.id WHERE o.amount BETWEEN {p1} AND {p2}",
+		"SELECT name FROM users WHERE id IN (SELECT user_id FROM orders WHERE amount > {p1})",
+		"SELECT SUM(o.amount * 2 + 1) FROM orders o WHERE o.status = {p1}",
+	}
+	a := analyzer.New(testSchema())
+	for _, sql := range clean {
+		rep := a.AnalyzeSQL(sql, nil)
+		if len(rep.Diagnostics) != 0 {
+			t.Errorf("%s: unexpected diagnostics %v", sql, rep.Diagnostics)
+		}
+	}
+}
+
+// TestSpecPassMatchesJudgeGroundTruth checks the spec pass agrees exactly
+// with spec.Check for a satisfied spec (no false positives).
+func TestSpecPassMatchesJudgeGroundTruth(t *testing.T) {
+	sql := "SELECT u.city, COUNT(*) FROM users u JOIN orders o ON o.user_id = u.id " +
+		"WHERE o.amount > {p1} AND u.age < {p2} GROUP BY u.city"
+	s := spec.Spec{
+		NumTables:     spec.Int(2),
+		NumJoins:      spec.Int(1),
+		NumPredicates: spec.Int(2),
+		GroupBy:       spec.Bool(true),
+	}
+	rep := analyzer.New(testSchema()).AnalyzeSQL(sql, &s)
+	if errs := rep.SpecErrors(); len(errs) != 0 {
+		t.Fatalf("satisfied spec produced spec errors: %v", errs)
+	}
+}
+
+// TestCorpusSilent runs the analyzer over templates synthesized by the
+// perfect oracle for both seed databases and asserts no Error diagnostics:
+// the static tier never blocks a template the judge and the DBMS would both
+// accept.
+func TestCorpusSilent(t *testing.T) {
+	dbs := map[string]*engine.DB{
+		"tpch": engine.OpenTPCH(7, 0.01),
+		"imdb": engine.OpenIMDB(7, 0.01),
+	}
+	specs := []spec.Spec{
+		{NumJoins: spec.Int(0), NumPredicates: spec.Int(1)},
+		{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)},
+		{NumJoins: spec.Int(2), NumPredicates: spec.Int(2), GroupBy: spec.Bool(true)},
+		{NumJoins: spec.Int(1), NumPredicates: spec.Int(1), NestedQuery: spec.Bool(true)},
+		{NumJoins: spec.Int(1), NumAggregations: spec.Int(1), GroupBy: spec.Bool(true)},
+		{NumJoins: spec.Int(0), NumPredicates: spec.Int(2), ComplexScalar: spec.Bool(true)},
+	}
+	for name, db := range dbs {
+		oracle := llm.NewSim(llm.Perfect(int64(len(name))))
+		a := analyzer.New(db.Schema())
+		for i, s := range specs {
+			numJoins := 0
+			if s.NumJoins != nil {
+				numJoins = *s.NumJoins
+			}
+			paths := db.Schema().JoinPaths(numJoins, 8)
+			if len(paths) == 0 {
+				continue
+			}
+			for _, p := range paths {
+				sql, err := oracle.GenerateTemplate(llm.GenerateRequest{
+					Schema: db.Schema(), JoinPath: p, Spec: s,
+				})
+				if err != nil {
+					t.Fatalf("%s spec %d: %v", name, i, err)
+				}
+				rep := a.AnalyzeSQL(sql, &s)
+				var errs []analyzer.Diagnostic
+				for _, d := range rep.Diagnostics {
+					if d.Severity == analyzer.Error {
+						errs = append(errs, d)
+					}
+				}
+				if len(errs) > 0 {
+					t.Errorf("%s spec %d template %q: %v", name, i, sql, errs)
+				}
+				// Parity: if the DBMS accepts it, the analyzer must not have
+				// claimed an executability error (checked above); if the DBMS
+				// rejects it, this corpus is broken — fail loudly.
+				if ok, msg := db.ValidateSyntax(sql); !ok {
+					t.Fatalf("%s spec %d: perfect-oracle template rejected by DBMS: %s", name, i, msg)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzerNeverFalselyBlocks is the contract that lets the generator skip
+// ValidateSyntax: whenever the analyzer reports an executability Error, the
+// real DBMS check must also reject the template.
+func TestAnalyzerNeverFalselyBlocks(t *testing.T) {
+	db := engine.OpenTPCH(11, 0.01)
+	a := analyzer.New(db.Schema())
+	bad := []string{
+		"SELECT l_extendedprice FROM lineitems",
+		"SELECT l.l_price FROM lineitem l",
+		"SELECT o_totalprice FROM orders WHERE SUM(o_totalprice) > 5",
+		"SELECT o_totalprice FROM orders HAVING o_totalprice > 5",
+	}
+	for _, sql := range bad {
+		rep := a.AnalyzeSQL(sql, nil)
+		if len(rep.ExecErrors()) == 0 {
+			continue // analyzer is allowed to miss; it must not falsely block
+		}
+		if ok, _ := db.ValidateSyntax(sql); ok {
+			t.Errorf("analyzer blocks %q but DBMS accepts it: %v", sql, rep.ExecErrors())
+		}
+	}
+}
+
+// TestFromDBMSError checks legacy DBMS message normalization.
+func TestFromDBMSError(t *testing.T) {
+	cases := []struct {
+		msg  string
+		code analyzer.Code
+	}{
+		{"syntax error at or near position 7", analyzer.CodeParseError},
+		{`relation "userz" does not exist`, analyzer.CodeUnknownTable},
+		{`column "u.nam" does not exist`, analyzer.CodeUnknownColumn},
+		{`column reference "id" is ambiguous`, analyzer.CodeAmbiguousColumn},
+		{"some novel failure", analyzer.CodeParseError},
+	}
+	for _, tc := range cases {
+		if got := analyzer.FromDBMSError(tc.msg).Code; got != tc.code {
+			t.Errorf("FromDBMSError(%q) = %s, want %s", tc.msg, got, tc.code)
+		}
+	}
+}
+
+// TestFromViolations checks judge violation normalization.
+func TestFromViolations(t *testing.T) {
+	diags := analyzer.FromViolations([]string{
+		"expected 2 joins, template has 1",
+		"expected 3 tables accessed, template has 2",
+		"template must include a nested subquery",
+		"something unrecognizable",
+	})
+	want := []analyzer.Code{
+		analyzer.CodeSpecJoins,
+		analyzer.CodeSpecTables,
+		analyzer.CodeSpecNestedQuery,
+		analyzer.CodeSpecOther,
+	}
+	for i, d := range diags {
+		if d.Code != want[i] {
+			t.Errorf("violation %d: code %s, want %s", i, d.Code, want[i])
+		}
+	}
+}
+
+// TestDiagnosticString checks rendering used in repair hints.
+func TestDiagnosticString(t *testing.T) {
+	d := analyzer.Diagnostic{
+		Code: analyzer.CodeUnknownColumn, Severity: analyzer.Error,
+		Msg: `column "u.nam" does not exist`, Fix: "did you mean u.name?",
+	}
+	s := d.String()
+	for _, part := range []string{"B002", "error", "u.nam", "fix: did you mean"} {
+		if !strings.Contains(s, part) {
+			t.Errorf("diagnostic string %q missing %q", s, part)
+		}
+	}
+}
+
+// TestSpanRecovery checks that spans locate the offending fragment in the
+// canonical SQL.
+func TestSpanRecovery(t *testing.T) {
+	sql := "SELECT name FROM users WHERE 1 = 2"
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := analyzer.New(testSchema()).Analyze(stmt, nil)
+	for _, d := range rep.Diagnostics {
+		if d.Code != analyzer.CodeAlwaysFalse {
+			continue
+		}
+		canon := stmt.SQL()
+		if d.Span.End <= d.Span.Start || d.Span.End > len(canon) {
+			t.Fatalf("bad span %+v for %q", d.Span, canon)
+		}
+		frag := canon[d.Span.Start:d.Span.End]
+		if !strings.Contains(frag, "1") || !strings.Contains(frag, "2") {
+			t.Fatalf("span fragment %q does not cover the predicate", frag)
+		}
+		return
+	}
+	t.Fatal("always-false diagnostic not produced")
+}
+
+// TestCustomPassPipeline checks NewWithPasses restricts the pipeline.
+func TestCustomPassPipeline(t *testing.T) {
+	a := analyzer.NewWithPasses(testSchema(), analyzer.BinderPass{})
+	rep := a.AnalyzeSQL("SELECT nam FROM users WHERE 1 = 2", nil)
+	if !hasCode(rep, analyzer.CodeUnknownColumn) {
+		t.Fatal("binder pass should fire")
+	}
+	if hasCode(rep, analyzer.CodeAlwaysFalse) {
+		t.Fatal("predicate pass must not run when excluded")
+	}
+}
+
+// TestReportCodes checks deterministic, deduplicated code summaries.
+func TestReportCodes(t *testing.T) {
+	rep := analyzer.New(testSchema()).AnalyzeSQL(
+		"SELECT nam, nam FROM users WHERE 1 = 2", nil)
+	codes := rep.Codes()
+	seen := map[string]bool{}
+	for i, c := range codes {
+		if seen[c] {
+			t.Fatalf("duplicate code %s in %v", c, codes)
+		}
+		seen[c] = true
+		if i > 0 && codes[i-1] > c {
+			t.Fatalf("codes not sorted: %v", codes)
+		}
+	}
+	if !seen[string(analyzer.CodeUnknownColumn)] || !seen[string(analyzer.CodeAlwaysFalse)] {
+		t.Fatalf("expected B002 and P001 in %v", codes)
+	}
+}
+
+func ExampleDiagnostic_String() {
+	d := analyzer.Diagnostic{
+		Code:     analyzer.CodeUnknownTable,
+		Severity: analyzer.Error,
+		Msg:      `relation "userz" does not exist`,
+		Fix:      "use one of the schema tables: users, orders",
+	}
+	fmt.Println(d)
+	// Output: B001 error: relation "userz" does not exist (fix: use one of the schema tables: users, orders)
+}

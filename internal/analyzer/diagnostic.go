@@ -1,0 +1,252 @@
+package analyzer
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Severity grades a diagnostic.
+type Severity uint8
+
+// Severities, ordered by gravity.
+const (
+	// Info diagnostics are observations that never block a template.
+	Info Severity = iota
+	// Warning diagnostics flag suspicious structure (cartesian joins,
+	// trivially-true predicates) that an engine would accept.
+	Warning
+	// Error diagnostics mean the template cannot pass downstream validation:
+	// it would be rejected by the LLM judge (spec violation) or by the DBMS
+	// (binding/type failure), so the check-and-rewrite loop can skip those
+	// expensive calls entirely.
+	Error
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("Severity(%d)", uint8(s))
+}
+
+// Code identifies one diagnostic rule. Codes are grouped by pass:
+//
+//	Xnnn  parse errors (template is not valid SQL at all)
+//	Bnnn  binder: unknown/ambiguous/duplicate name resolution
+//	Tnnn  types: operand kind mismatches
+//	Annn  aggregates: GROUP BY conformance and aggregate placement
+//	Jnnn  joins: cartesian products and degenerate ON conditions
+//	Pnnn  predicates: contradictions and constant conditions
+//	Hnnn  placeholders: sargability and bindability of {p_i} markers
+//	Snnn  specification conformance (the Figure 8a error taxonomy)
+type Code string
+
+// The diagnostic code table. DESIGN.md documents each entry.
+const (
+	CodeParseError Code = "X001"
+
+	CodeUnknownTable    Code = "B001"
+	CodeUnknownColumn   Code = "B002"
+	CodeAmbiguousColumn Code = "B003"
+	CodeDuplicateTable  Code = "B004"
+	CodeMissingFrom     Code = "B005"
+
+	CodeComparisonTypeMismatch Code = "T001"
+	CodeAggregateArgType       Code = "T002"
+
+	CodeUngroupedColumn    Code = "A001"
+	CodeAggregateInWhere   Code = "A002"
+	CodeNestedAggregate    Code = "A003"
+	CodeHavingWithoutGroup Code = "A004"
+	CodeAggregateInGroupBy Code = "A005"
+
+	CodeCartesianJoin   Code = "J001"
+	CodeDegenerateJoin  Code = "J002"
+	CodeAlwaysFalse     Code = "P001"
+	CodeContradiction   Code = "P002"
+	CodeConstantPredic  Code = "P003"
+	CodeUnsargable      Code = "H001"
+	CodeMisplacedMarker Code = "H002"
+
+	CodeSpecTables        Code = "S001"
+	CodeSpecJoins         Code = "S002"
+	CodeSpecAggregations  Code = "S003"
+	CodeSpecPredicates    Code = "S004"
+	CodeSpecNestedQuery   Code = "S005"
+	CodeSpecGroupBy       Code = "S006"
+	CodeSpecComplexScalar Code = "S007"
+	CodeSpecOther         Code = "S099"
+)
+
+// Span locates a diagnostic inside the canonical template SQL as a
+// [Start, End) byte range. The parser does not retain positions, so spans are
+// recovered best-effort by locating the offending sub-expression's rendering
+// inside the statement's canonical text; an unlocatable span is {0, 0}.
+type Span struct {
+	Start int
+	End   int
+}
+
+// Diagnostic is one finding from a static-analysis pass.
+type Diagnostic struct {
+	Code     Code
+	Severity Severity
+	Span     Span
+	// Msg describes the defect in DBMS-error style.
+	Msg string
+	// Fix, when non-empty, is a machine-readable repair hint fed back to the
+	// LLM's FixSemantics/FixExecution prompts (the structured-diagnostic
+	// repair idea of the self-healing NL2SQL line of work).
+	Fix string
+}
+
+// String renders the diagnostic as "code severity: msg (fix: ...)".
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s %s: %s", d.Code, d.Severity, d.Msg)
+	if d.Fix != "" {
+		s += " (fix: " + d.Fix + ")"
+	}
+	return s
+}
+
+// Report is the outcome of analyzing one template.
+type Report struct {
+	Diagnostics []Diagnostic
+}
+
+// HasErrors reports whether any diagnostic is Error severity.
+func (r Report) HasErrors() bool {
+	for _, d := range r.Diagnostics {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// SpecErrors returns the Error diagnostics in the specification group
+// (S-codes): the defects the LLM judge would report.
+func (r Report) SpecErrors() []Diagnostic { return r.filter(Error, 'S') }
+
+// ExecErrors returns the Error diagnostics that would make the DBMS reject
+// the template (everything except the S group).
+func (r Report) ExecErrors() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if d.Severity == Error && !strings.HasPrefix(string(d.Code), "S") {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (r Report) filter(sev Severity, group byte) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if d.Severity == sev && len(d.Code) > 0 && d.Code[0] == group {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Codes returns the sorted, de-duplicated code set — the structured summary
+// AttemptTrace records.
+func (r Report) Codes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, d := range r.Diagnostics {
+		c := string(d.Code)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hints renders the error diagnostics as repair-hint lines for Fix* prompts.
+func Hints(diags []Diagnostic) []string {
+	out := make([]string, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+// ---- conversions from the legacy validation signatures ----
+//
+// The two pre-analyzer validators speak different tongues:
+// engine.DB.ValidateSyntax returns (bool, string) with a DBMS-style message,
+// and llm.Oracle.ValidateSemantics returns (bool, []string, error) with
+// judge-phrased violations. Both are normalized here into Diagnostics so
+// AttemptTrace records structured codes regardless of which tier found the
+// defect.
+
+var dbmsErrorPatterns = []struct {
+	re   *regexp.Regexp
+	code Code
+}{
+	{regexp.MustCompile(`^syntax error`), CodeParseError},
+	{regexp.MustCompile(`unterminated|unexpected character|empty placeholder|invalid (integer|numeric) literal`), CodeParseError},
+	{regexp.MustCompile(`relation "[^"]*" does not exist`), CodeUnknownTable},
+	{regexp.MustCompile(`missing FROM-clause entry`), CodeUnknownTable},
+	{regexp.MustCompile(`column .* does not exist`), CodeUnknownColumn},
+	{regexp.MustCompile(`is ambiguous`), CodeAmbiguousColumn},
+	{regexp.MustCompile(`specified more than once`), CodeDuplicateTable},
+	{regexp.MustCompile(`without a FROM clause`), CodeMissingFrom},
+	{regexp.MustCompile(`aggregate functions are not allowed in WHERE`), CodeAggregateInWhere},
+	{regexp.MustCompile(`aggregate functions are not allowed in GROUP BY`), CodeAggregateInGroupBy},
+	{regexp.MustCompile(`HAVING requires GROUP BY`), CodeHavingWithoutGroup},
+}
+
+// FromDBMSError classifies a DBMS error message (engine.DB.ValidateSyntax's
+// second return) into a structured diagnostic.
+func FromDBMSError(msg string) Diagnostic {
+	for _, p := range dbmsErrorPatterns {
+		if p.re.MatchString(msg) {
+			return Diagnostic{Code: p.code, Severity: Error, Msg: msg}
+		}
+	}
+	return Diagnostic{Code: CodeParseError, Severity: Error, Msg: msg}
+}
+
+var violationPatterns = []struct {
+	re   *regexp.Regexp
+	code Code
+}{
+	{regexp.MustCompile(`tables accessed`), CodeSpecTables},
+	{regexp.MustCompile(`joins`), CodeSpecJoins},
+	{regexp.MustCompile(`aggregations`), CodeSpecAggregations},
+	{regexp.MustCompile(`predicate`), CodeSpecPredicates},
+	{regexp.MustCompile(`nested subquer`), CodeSpecNestedQuery},
+	{regexp.MustCompile(`GROUP BY`), CodeSpecGroupBy},
+	{regexp.MustCompile(`complex scalar`), CodeSpecComplexScalar},
+	{regexp.MustCompile(`not valid SQL`), CodeParseError},
+}
+
+// FromViolations classifies judge violation strings
+// (llm.Oracle.ValidateSemantics's second return) into diagnostics.
+func FromViolations(violations []string) []Diagnostic {
+	out := make([]Diagnostic, 0, len(violations))
+	for _, v := range violations {
+		code := CodeSpecOther
+		for _, p := range violationPatterns {
+			if p.re.MatchString(v) {
+				code = p.code
+				break
+			}
+		}
+		out = append(out, Diagnostic{Code: code, Severity: Error, Msg: v})
+	}
+	return out
+}

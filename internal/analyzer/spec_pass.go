@@ -1,0 +1,95 @@
+package analyzer
+
+import (
+	"fmt"
+
+	"sqlbarber/internal/sqltemplate"
+)
+
+// SpecPass pre-checks specification conformance (the Figure 8a error
+// taxonomy) without an LLM judge: it computes the template's structural
+// features exactly as spec.Check does and emits one S-coded diagnostic per
+// breached constraint, each with a concrete repair hint. Because it shares
+// spec.Violations with the judge's ground truth, the pass is exact — never
+// a false positive, never a miss — which is what lets the generator skip
+// the ValidateSemantics call entirely.
+type SpecPass struct{}
+
+// Name implements Pass.
+func (SpecPass) Name() string { return "spec" }
+
+// specFieldCodes maps spec.Violation fields to diagnostic codes.
+var specFieldCodes = map[string]Code{
+	"tables":         CodeSpecTables,
+	"joins":          CodeSpecJoins,
+	"aggregations":   CodeSpecAggregations,
+	"predicates":     CodeSpecPredicates,
+	"nested_query":   CodeSpecNestedQuery,
+	"group_by":       CodeSpecGroupBy,
+	"complex_scalar": CodeSpecComplexScalar,
+}
+
+// specFieldFixes provides repair hints per dimension, parameterized on the
+// delta between expectation and reality.
+func specFieldFix(field string, want, got int) string {
+	switch field {
+	case "tables":
+		if got < want {
+			return fmt.Sprintf("join %d more table(s) along a foreign-key path", want-got)
+		}
+		return fmt.Sprintf("remove %d table(s) from FROM/JOIN", got-want)
+	case "joins":
+		if got < want {
+			return fmt.Sprintf("add %d JOIN clause(s) using foreign-key edges", want-got)
+		}
+		return fmt.Sprintf("remove %d JOIN clause(s)", got-want)
+	case "aggregations":
+		if got < want {
+			return fmt.Sprintf("add %d aggregate call(s) (SUM/AVG/MIN/MAX/COUNT) to the select list", want-got)
+		}
+		return fmt.Sprintf("remove %d aggregate call(s)", got-want)
+	case "predicates":
+		if got < want {
+			return fmt.Sprintf("add %d placeholder predicate(s) of the form col <op> {p_i}", want-got)
+		}
+		return fmt.Sprintf("remove %d placeholder predicate(s)", got-want)
+	case "nested_query":
+		if want == 1 {
+			return "add an IN/EXISTS/scalar subquery predicate"
+		}
+		return "inline or remove the subquery"
+	case "group_by":
+		if want == 1 {
+			return "add a GROUP BY clause over a low-cardinality column"
+		}
+		return "remove the GROUP BY clause"
+	case "complex_scalar":
+		if want == 1 {
+			return "project an arithmetic expression of depth >= 2 or a CASE expression"
+		}
+		return "simplify the select list to plain columns and aggregates"
+	}
+	return ""
+}
+
+// Run implements Pass.
+func (SpecPass) Run(ctx *Context) []Diagnostic {
+	if ctx.Spec == nil {
+		return nil
+	}
+	feats := (&sqltemplate.Template{Stmt: ctx.Stmt}).Features()
+	var diags []Diagnostic
+	for _, v := range ctx.Spec.Violations(feats) {
+		code, ok := specFieldCodes[v.Field]
+		if !ok {
+			code = CodeSpecOther
+		}
+		diags = append(diags, Diagnostic{
+			Code:     code,
+			Severity: Error,
+			Msg:      v.Msg,
+			Fix:      specFieldFix(v.Field, v.Want, v.Got),
+		})
+	}
+	return diags
+}

@@ -1,0 +1,51 @@
+package benchmarks
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzerSavingsReport is the acceptance check for the static tier: with
+// SimLLM's default hallucination rates, the analyzer-fronted loop must spend
+// fewer LLM-judge calls and DBMS round-trips per valid template than the
+// legacy flow, never consult EXPLAIN, and the report must print the deltas.
+func TestAnalyzerSavingsReport(t *testing.T) {
+	r := NewRunner(tiny(), 17)
+	var buf bytes.Buffer
+	s, err := r.RunAnalyzerSavings(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Static.Valid == 0 || s.Legacy.Valid == 0 {
+		t.Fatalf("both arms must converge on some templates: %+v", s)
+	}
+	if s.Static.ExplainCalls != 0 || s.Legacy.ExplainCalls != 0 {
+		t.Fatalf("template generation must not consult EXPLAIN: static=%d legacy=%d",
+			s.Static.ExplainCalls, s.Legacy.ExplainCalls)
+	}
+	if s.Static.JudgePerValid() >= s.Legacy.JudgePerValid() {
+		t.Fatalf("judge calls per valid template not reduced: %.2f vs %.2f",
+			s.Static.JudgePerValid(), s.Legacy.JudgePerValid())
+	}
+	if s.Static.DBMSPerValid() >= s.Legacy.DBMSPerValid() {
+		t.Fatalf("DBMS validations per valid template not reduced: %.2f vs %.2f",
+			s.Static.DBMSPerValid(), s.Legacy.DBMSPerValid())
+	}
+	if s.Static.Stats.StaticSpecCatches == 0 || s.Static.Stats.StaticExecCatches == 0 {
+		t.Fatalf("static tier caught nothing: %+v", s.Static.Stats)
+	}
+	if int64(s.Static.Stats.SyntaxChecks) != s.Static.ValidateCalls {
+		t.Fatalf("generator and engine disagree on DBMS validations: %d vs %d",
+			s.Static.Stats.SyntaxChecks, s.Static.ValidateCalls)
+	}
+	if s.Legacy.Stats.StaticSpecCatches != 0 || s.Legacy.Stats.StaticExecCatches != 0 {
+		t.Fatalf("legacy arm must not use the analyzer: %+v", s.Legacy.Stats)
+	}
+	out := buf.String()
+	for _, want := range []string{"Static-analyzer savings", "per-valid-template", "judge", "dbms", "tokens"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -64,8 +64,9 @@ type ExplainResult struct {
 type DB struct {
 	store *storage.Database
 
-	explainCount atomic.Int64
-	execCount    atomic.Int64
+	explainCount  atomic.Int64
+	execCount     atomic.Int64
+	validateCount atomic.Int64
 }
 
 // Open wraps a loaded storage database.
@@ -117,10 +118,16 @@ func (db *DB) ExplainCalls() int64 { return db.explainCount.Load() }
 // ExecCalls reports how many Execute calls were served.
 func (db *DB) ExecCalls() int64 { return db.execCount.Load() }
 
+// ValidateCalls reports how many ValidateSyntax round-trips were served —
+// the DBMS-check half of the Algorithm 1 budget that the static analyzer
+// tries to avoid spending.
+func (db *DB) ValidateCalls() int64 { return db.validateCount.Load() }
+
 // ResetCounters zeroes the instrumentation counters.
 func (db *DB) ResetCounters() {
 	db.explainCount.Store(0)
 	db.execCount.Store(0)
+	db.validateCount.Store(0)
 }
 
 func (db *DB) planSQL(sql string) (*plan.Query, error) {
@@ -192,6 +199,7 @@ func (db *DB) Cost(sql string, kind CostKind) (float64, error) {
 // are permitted — they are substituted with neutral probe literals before
 // planning.
 func (db *DB) ValidateSyntax(sql string) (bool, string) {
+	db.validateCount.Add(1)
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return false, err.Error()

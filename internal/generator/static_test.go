@@ -1,0 +1,244 @@
+package generator
+
+import (
+	"testing"
+
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/spec"
+)
+
+// countingOracle wraps an Oracle and counts every call per method, so tests
+// can assert exactly how much LLM budget the loop spends — independently of
+// the generator's own Stats bookkeeping.
+type countingOracle struct {
+	llm.Oracle
+	generate, judge, fixSem, fixExec int
+}
+
+func (c *countingOracle) GenerateTemplate(req llm.GenerateRequest) (string, error) {
+	c.generate++
+	return c.Oracle.GenerateTemplate(req)
+}
+
+func (c *countingOracle) ValidateSemantics(sql string, s spec.Spec) (bool, []string, error) {
+	c.judge++
+	return c.Oracle.ValidateSemantics(sql, s)
+}
+
+func (c *countingOracle) FixSemantics(sql string, s spec.Spec, violations []string, req llm.GenerateRequest) (string, error) {
+	c.fixSem++
+	return c.Oracle.FixSemantics(sql, s, violations, req)
+}
+
+func (c *countingOracle) FixExecution(sql string, dbmsError string, req llm.GenerateRequest) (string, error) {
+	c.fixExec++
+	return c.Oracle.FixExecution(sql, dbmsError, req)
+}
+
+// hallucinationSpecs is a small workload mixing structural requirements.
+func hallucinationSpecs() []spec.Spec {
+	return []spec.Spec{
+		{NumJoins: spec.Int(0), NumPredicates: spec.Int(2)},
+		{NumJoins: spec.Int(1), NumPredicates: spec.Int(1), GroupBy: spec.Bool(true)},
+		{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)},
+		{NumJoins: spec.Int(2), NumPredicates: spec.Int(2)},
+	}
+}
+
+// TestStaticTierCatchesHallucinations drives the generator with SimLLM's
+// full hallucination repertoire (misspelled columns, broken table names,
+// duplicated commas, FORM typos, unbalanced parens, spec breaches) and
+// asserts that every injected defect is caught by the static tier without a
+// single DBMS Explain call and with strictly less judge/DBMS traffic than
+// the analyzer-disabled flow.
+func TestStaticTierCatchesHallucinations(t *testing.T) {
+	run := func(disable bool) (Stats, int64, int64, int) {
+		db := engine.OpenTPCH(21, 0.05)
+		oracle := llm.NewSim(llm.SimOptions{Seed: 21}) // default error rates
+		g := New(db, oracle, Options{Seed: 21, MaxRewrites: 8, DisableStaticAnalysis: disable})
+		valid := 0
+		for _, s := range hallucinationSpecs() {
+			res, err := g.Generate(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Valid {
+				valid++
+			}
+		}
+		return g.Stats(), db.ExplainCalls(), db.ValidateCalls(), valid
+	}
+
+	static, explains, validates, validOn := run(false)
+	legacy, _, _, _ := run(true)
+
+	if explains != 0 {
+		t.Fatalf("static flow must not consult EXPLAIN during generation, got %d calls", explains)
+	}
+	if static.StaticSpecCatches == 0 {
+		t.Fatal("SimLLM spec hallucinations should be caught statically")
+	}
+	if static.StaticExecCatches == 0 {
+		t.Fatal("SimLLM syntax hallucinations should be caught statically")
+	}
+	// Accounting: every attempt pays either the expensive check or a static
+	// catch, never both and never neither.
+	if static.JudgeCalls+static.StaticSpecCatches != static.Attempts {
+		t.Fatalf("judge accounting: %d calls + %d catches != %d attempts",
+			static.JudgeCalls, static.StaticSpecCatches, static.Attempts)
+	}
+	if static.SyntaxChecks+static.StaticExecCatches != static.Attempts {
+		t.Fatalf("DBMS accounting: %d checks + %d catches != %d attempts",
+			static.SyntaxChecks, static.StaticExecCatches, static.Attempts)
+	}
+	// The legacy flow pays an LLM-judge call and a DBMS round-trip on every
+	// single attempt; the static tier must undercut both rates. (Absolute
+	// counts are not comparable — skipping oracle calls shifts SimLLM's RNG
+	// stream, so the two runs take different trajectories.)
+	if legacy.JudgeCalls != legacy.Attempts || legacy.SyntaxChecks != legacy.Attempts {
+		t.Fatalf("legacy flow should pay full freight per attempt: %+v", legacy)
+	}
+	if static.JudgeCalls*legacy.Attempts >= legacy.JudgeCalls*static.Attempts {
+		t.Fatalf("judge calls per attempt not reduced: %d/%d (static) vs %d/%d (legacy)",
+			static.JudgeCalls, static.Attempts, legacy.JudgeCalls, legacy.Attempts)
+	}
+	if int64(static.SyntaxChecks) != validates {
+		t.Fatalf("stats SyntaxChecks=%d disagrees with db.ValidateCalls=%d",
+			static.SyntaxChecks, validates)
+	}
+	if validOn < 3 {
+		t.Fatalf("static tier must not hurt convergence: only %d/4 valid", validOn)
+	}
+}
+
+// TestStaticCatchesRecordDiagnostics asserts traces carry structured codes
+// and the static-catch markers.
+func TestStaticCatchesRecordDiagnostics(t *testing.T) {
+	db := engine.OpenTPCH(9, 0.05)
+	g := New(db, llm.NewSim(llm.SimOptions{Seed: 9, SyntaxErrorRate: 1, SpecErrorRate: 0}), Options{Seed: 9, MaxRewrites: 4})
+	res, err := g.Generate(spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawStatic := false
+	for _, tr := range res.Trace {
+		if tr.StaticExec {
+			sawStatic = true
+			if len(tr.Codes) == 0 {
+				t.Fatalf("static catch without codes: %+v", tr)
+			}
+			if len(tr.Diagnostics) == 0 {
+				t.Fatalf("static catch without diagnostics: %+v", tr)
+			}
+			if tr.DBMSError == "" {
+				t.Fatalf("static catch must surface an error message for FixExecution: %+v", tr)
+			}
+		}
+	}
+	if !sawStatic {
+		t.Fatal("a guaranteed syntax hallucination should be a static catch")
+	}
+}
+
+// TestPerfectOracleSkipsNothing checks that with an error-free oracle the
+// static tier stays out of the way: the judge and the DBMS remain the
+// acceptance authorities and are each consulted exactly once.
+func TestPerfectOracleSkipsNothing(t *testing.T) {
+	db := engine.OpenTPCH(1, 0.05)
+	oracle := &countingOracle{Oracle: llm.NewSim(llm.Perfect(1))}
+	g := New(db, oracle, Options{Seed: 1})
+	res, err := g.Generate(spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Fatal("perfect oracle should converge on attempt 0")
+	}
+	st := g.Stats()
+	if oracle.judge != 1 || st.JudgeCalls != 1 {
+		t.Fatalf("judge must authorize acceptance exactly once, got %d", oracle.judge)
+	}
+	if got := db.ValidateCalls(); got != 1 {
+		t.Fatalf("DBMS must confirm executability exactly once, got %d", got)
+	}
+	if st.StaticSpecCatches != 0 || st.StaticExecCatches != 0 {
+		t.Fatalf("clean template must not trip the static tier: %+v", st)
+	}
+}
+
+// alwaysFailingOracle emits a template that parses and binds but violates its
+// spec, and whose repairs never help — exercising the full rewrite budget.
+type alwaysFailingOracle struct {
+	llm.Oracle
+	fixSem, fixExec int
+}
+
+func (a *alwaysFailingOracle) GenerateTemplate(llm.GenerateRequest) (string, error) {
+	// Parses and executes, but violates any spec demanding joins/predicates.
+	return "SELECT r_name FROM region", nil
+}
+
+func (a *alwaysFailingOracle) ValidateSemantics(string, spec.Spec) (bool, []string, error) {
+	return false, []string{"expected 2 joins, template has 0"}, nil
+}
+
+func (a *alwaysFailingOracle) FixSemantics(sql string, _ spec.Spec, _ []string, _ llm.GenerateRequest) (string, error) {
+	a.fixSem++
+	return sql, nil // repair never works
+}
+
+func (a *alwaysFailingOracle) FixExecution(sql string, _ string, _ llm.GenerateRequest) (string, error) {
+	a.fixExec++
+	return sql, nil
+}
+
+// TestMaxRewritesBudgetAccounting is the regression test for the rewrite
+// budget off-by-one: with MaxRewrites=k the loop validates attempts 0..k but
+// must issue at most k repair calls per oracle kind — a repair on the final
+// attempt could never be validated, so issuing one would waste an LLM call.
+func TestMaxRewritesBudgetAccounting(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8} {
+		db := engine.OpenTPCH(2, 0.05)
+		oracle := &alwaysFailingOracle{}
+		// Disable static analysis so the oracle's (fabricated) judge verdict
+		// drives the loop deterministically.
+		g := New(db, oracle, Options{Seed: 2, MaxRewrites: k, DisableStaticAnalysis: true})
+		res, err := g.Generate(spec.Spec{NumJoins: spec.Int(0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Valid {
+			t.Fatal("never-converging oracle cannot produce a valid template")
+		}
+		if len(res.Trace) != k+1 {
+			t.Fatalf("k=%d: trace has %d attempts, want %d (0..k validated)", k, len(res.Trace), k+1)
+		}
+		if oracle.fixSem != k {
+			t.Fatalf("k=%d: %d FixSemantics calls, want exactly %d (no unvalidated trailing repair)", k, oracle.fixSem, k)
+		}
+		if oracle.fixExec != 0 {
+			t.Fatalf("k=%d: FixExecution called %d times for an executable template", k, oracle.fixExec)
+		}
+		st := g.Stats()
+		if st.FixSemanticsCalls != oracle.fixSem {
+			t.Fatalf("stats FixSemanticsCalls=%d disagrees with oracle count %d", st.FixSemanticsCalls, oracle.fixSem)
+		}
+	}
+}
+
+// TestStatsReset checks the counters zero out between measurement windows.
+func TestStatsReset(t *testing.T) {
+	db := engine.OpenTPCH(4, 0.05)
+	g := New(db, llm.NewSim(llm.Perfect(4)), Options{Seed: 4})
+	if _, err := g.Generate(spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats() == (Stats{}) {
+		t.Fatal("stats should be non-zero after a generation")
+	}
+	g.ResetStats()
+	if g.Stats() != (Stats{}) {
+		t.Fatalf("reset left stats dirty: %+v", g.Stats())
+	}
+}

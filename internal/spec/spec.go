@@ -169,34 +169,69 @@ func (s *Spec) Merge(other Spec) {
 	s.Instructions = append(s.Instructions, other.Instructions...)
 }
 
-// Check verifies features against the spec, returning whether it passes and
-// the list of violations (for the LLM's FixSemantics feedback).
-func (s Spec) Check(f sqltemplate.Features) (bool, []string) {
-	var v []string
-	chkInt := func(name string, want *int, got int) {
+// Violation is one structured constraint breach: which spec dimension
+// failed, what the spec wanted, and what the template has. Downstream
+// consumers (the static analyzer, AttemptTrace) map Field to stable
+// diagnostic codes instead of re-parsing the message.
+type Violation struct {
+	// Field names the constrained dimension: "tables", "joins",
+	// "aggregations", "predicates", "nested_query", "group_by",
+	// "complex_scalar".
+	Field string
+	// Want and Got carry the numeric expectation for integer constraints;
+	// boolean constraints use 1/0.
+	Want, Got int
+	// Msg is the human/LLM-facing description (same wording Check used).
+	Msg string
+}
+
+// Violations verifies features against the spec, returning one structured
+// violation per breached constraint.
+func (s Spec) Violations(f sqltemplate.Features) []Violation {
+	var v []Violation
+	chkInt := func(field, name string, want *int, got int) {
 		if want != nil && got != *want {
-			v = append(v, fmt.Sprintf("expected %d %s, template has %d", *want, name, got))
+			v = append(v, Violation{
+				Field: field, Want: *want, Got: got,
+				Msg: fmt.Sprintf("expected %d %s, template has %d", *want, name, got),
+			})
 		}
 	}
-	chkBool := func(name string, want *bool, got bool) {
+	chkBool := func(field, name string, want *bool, got bool) {
 		if want == nil {
 			return
 		}
 		if *want && !got {
-			v = append(v, fmt.Sprintf("template must include %s", name))
+			v = append(v, Violation{Field: field, Want: 1, Got: 0,
+				Msg: fmt.Sprintf("template must include %s", name)})
 		}
 		if !*want && got {
-			v = append(v, fmt.Sprintf("template must not include %s", name))
+			v = append(v, Violation{Field: field, Want: 0, Got: 1,
+				Msg: fmt.Sprintf("template must not include %s", name)})
 		}
 	}
-	chkInt("tables accessed", s.NumTables, f.NumTables)
-	chkInt("joins", s.NumJoins, f.NumJoins)
-	chkInt("aggregations", s.NumAggregations, f.NumAggregations)
-	chkInt("predicate placeholders", s.NumPredicates, f.NumPredicates)
-	chkBool("a nested subquery", s.NestedQuery, f.HasNestedQuery)
-	chkBool("a GROUP BY clause", s.GroupBy, f.HasGroupBy)
-	chkBool("complex scalar expressions", s.ComplexScalar, f.HasComplexScalar)
-	return len(v) == 0, v
+	chkInt("tables", "tables accessed", s.NumTables, f.NumTables)
+	chkInt("joins", "joins", s.NumJoins, f.NumJoins)
+	chkInt("aggregations", "aggregations", s.NumAggregations, f.NumAggregations)
+	chkInt("predicates", "predicate placeholders", s.NumPredicates, f.NumPredicates)
+	chkBool("nested_query", "a nested subquery", s.NestedQuery, f.HasNestedQuery)
+	chkBool("group_by", "a GROUP BY clause", s.GroupBy, f.HasGroupBy)
+	chkBool("complex_scalar", "complex scalar expressions", s.ComplexScalar, f.HasComplexScalar)
+	return v
+}
+
+// Check verifies features against the spec, returning whether it passes and
+// the list of violations (for the LLM's FixSemantics feedback).
+func (s Spec) Check(f sqltemplate.Features) (bool, []string) {
+	vs := s.Violations(f)
+	if len(vs) == 0 {
+		return true, nil
+	}
+	msgs := make([]string, len(vs))
+	for i, v := range vs {
+		msgs[i] = v.Msg
+	}
+	return false, msgs
 }
 
 // Describe renders the spec as the natural-language requirement block used

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# check.sh is the repository's verification entrypoint. It chains, in order:
+#
+#   1. go vet ./...          — the standard toolchain analyzer
+#   2. barbervet ./...       — SQLBarber's own repo linter (cmd/barbervet):
+#                              unseeded math/rand in internal/, stdout prints
+#                              in library code, mutex copies, discarded
+#                              engine.DB errors
+#   3. go test -race ./...   — the full suite under the race detector
+#
+# Run it from anywhere; it changes to the repo root first. Any failure stops
+# the chain with a non-zero exit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== barbervet ./... =="
+go run ./cmd/barbervet ./...
+
+echo "== go test -race ./... =="
+go test -race ./...
+
+echo "== all checks passed =="
