@@ -6,6 +6,7 @@
 package sqlbarber
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -50,7 +51,7 @@ func runPerfFigure(b *testing.B, benchName string, ds benchmarks.Dataset, kind e
 		var barber, bestBase float64
 		bestBase = -1
 		for _, m := range benchmarks.AllMethods {
-			res, err := r.RunMethod(m, bench, ds)
+			res, err := r.RunMethod(context.Background(), m, bench, ds)
 			if err != nil {
 				b.Fatalf("%s: %v", m, err)
 			}
@@ -93,7 +94,7 @@ func BenchmarkFigure6(b *testing.B) {
 func BenchmarkFigure7Queries(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchmarks.NewRunner(benchScale(), 1)
-		pts, err := r.RunFigure7Queries(io.Discard, []int{25, 50, 100},
+		pts, err := r.RunFigure7Queries(context.Background(), io.Discard, []int{25, 50, 100},
 			[]benchmarks.Method{benchmarks.HillClimbPrio, benchmarks.LearnedSQLPrio, benchmarks.SQLBarber})
 		if err != nil {
 			b.Fatal(err)
@@ -108,7 +109,7 @@ func BenchmarkFigure7Queries(b *testing.B) {
 func BenchmarkFigure7Intervals(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchmarks.NewRunner(benchScale(), 1)
-		pts, err := r.RunFigure7Intervals(io.Discard, []int{5, 10, 15},
+		pts, err := r.RunFigure7Intervals(context.Background(), io.Discard, []int{5, 10, 15},
 			[]benchmarks.Method{benchmarks.HillClimbPrio, benchmarks.LearnedSQLPrio, benchmarks.SQLBarber})
 		if err != nil {
 			b.Fatal(err)
@@ -122,7 +123,7 @@ func BenchmarkFigure7Intervals(b *testing.B) {
 func BenchmarkFigure8Rewrite(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchmarks.NewRunner(benchScale(), 1)
-		curve, err := r.RunFigure8Rewrite(io.Discard)
+		curve, err := r.RunFigure8Rewrite(context.Background(), io.Discard)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,7 +140,7 @@ func BenchmarkFigure8Rewrite(b *testing.B) {
 func BenchmarkFigure8Ablation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchmarks.NewRunner(benchScale(), 1)
-		series, err := r.RunFigure8Ablation(io.Discard)
+		series, err := r.RunFigure8Ablation(context.Background(), io.Discard)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -161,7 +162,7 @@ func BenchmarkFigure8Ablation(b *testing.B) {
 func BenchmarkTable2Cost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchmarks.NewRunner(benchScale(), 1)
-		rows, err := r.RunTable2(io.Discard)
+		rows, err := r.RunTable2(context.Background(), io.Discard)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -199,7 +200,7 @@ func runAblation(b *testing.B, metricName string, mod func(*core.Config), metric
 		for _, seed := range ablationSeeds {
 			cfg := ablationConfig(seed)
 			mod(&cfg)
-			res, err := core.Generate(cfg)
+			res, err := core.Generate(context.Background(), cfg)
 			if err != nil {
 				b.Fatal(err)
 			}

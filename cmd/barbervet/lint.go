@@ -118,6 +118,7 @@ func LintDir(dir string) ([]Finding, error) {
 		if !pf.isTest {
 			if inInternal {
 				checkUnseededRand(pf.file, report)
+				checkContextDiscipline(pf.file, report)
 			}
 			if !inCmd && pf.file.Name.Name != "main" {
 				checkFmtPrint(pf.file, report)
@@ -298,6 +299,70 @@ func checkMutexCopy(f *ast.File, mutexStructs map[string]bool, report func(token
 		}
 		flagFields(fd.Recv, "value receiver of "+fd.Name.Name)
 		flagFields(fd.Type.Params, "parameter of "+fd.Name.Name)
+	}
+}
+
+// checkContextDiscipline flags two cancellation hazards in internal/ library
+// code (R005). First, calls to context.Background() or context.TODO(): library
+// code must plumb the caller's ctx so Ctrl-C in cmd/ reaches every DBMS and
+// LLM call, and a fresh root context silently detaches the work from that
+// chain. Second, `go` statements inside functions whose bodies never call a
+// .Wait() or .Done() method: without a sync.WaitGroup (or errgroup) joining
+// the goroutine before return, cancellation can unwind the caller while the
+// goroutine still runs — the leak class the pipeline's drain tests guard
+// against. The guard detection is a heuristic over the enclosing function
+// body, so a goroutine joined by the caller should hand back its WaitGroup or
+// be restructured; a false positive is silenced by keeping the Wait in the
+// launching function.
+func checkContextDiscipline(f *ast.File, report func(token.Pos, string, string)) {
+	ctxName := importName(f, "context")
+	if ctxName != "" && ctxName != "_" {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != ctxName || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+				return true
+			}
+			report(call.Pos(), "R005",
+				ctxName+"."+sel.Sel.Name+"() creates a root context in library code; "+
+					"accept a ctx parameter so callers can cancel DBMS and LLM work")
+			return true
+		})
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		var goStmts []*ast.GoStmt
+		guarded := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				goStmts = append(goStmts, n)
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok &&
+					(sel.Sel.Name == "Wait" || sel.Sel.Name == "Done") {
+					guarded = true
+				}
+			}
+			return true
+		})
+		if guarded {
+			continue
+		}
+		for _, g := range goStmts {
+			report(g.Pos(), "R005",
+				"goroutine launched in "+fd.Name.Name+" with no Wait/Done in the function; "+
+					"join it with a sync.WaitGroup (or ctx-aware guard) so cancellation cannot leak it")
+		}
 	}
 }
 

@@ -5,7 +5,7 @@ import (
 	"testing"
 )
 
-// TestFixtureTripsEveryRule asserts the badpkg fixture produces all four
+// TestFixtureTripsEveryRule asserts the badpkg fixture produces all five
 // rule codes.
 func TestFixtureTripsEveryRule(t *testing.T) {
 	findings, err := LintDir(filepath.Join("testdata", "internal", "badpkg"))
@@ -19,14 +19,14 @@ func TestFixtureTripsEveryRule(t *testing.T) {
 			t.Errorf("finding %s has no position", f.Code)
 		}
 	}
-	want := map[string]int{"R001": 1, "R002": 1, "R003": 2, "R004": 1}
+	want := map[string]int{"R001": 1, "R002": 1, "R003": 2, "R004": 1, "R005": 2}
 	for code, n := range want {
 		if got[code] != n {
 			t.Errorf("rule %s fired %d time(s), want %d (all: %v)", code, got[code], n, got)
 		}
 	}
-	if len(findings) != 5 {
-		t.Errorf("total findings = %d, want 5: %v", len(findings), findings)
+	if len(findings) != 7 {
+		t.Errorf("total findings = %d, want 7: %v", len(findings), findings)
 	}
 }
 

@@ -16,6 +16,12 @@
 //	      Execute, Cost, SaveSnapshot) called as a bare statement, dropping
 //	      the error. (Syntactic heuristic: flags these method names on any
 //	      receiver; the repo reserves them for engine.DB.)
+//	R005  cancellation discipline in internal/ packages: (a) calls to
+//	      context.Background() or context.TODO() — library code must accept
+//	      the caller's ctx so Ctrl-C reaches every DBMS and LLM call;
+//	      (b) `go` statements in functions with no .Wait()/.Done() call in
+//	      the body — goroutines must be joined (sync.WaitGroup or
+//	      equivalent) so cancellation cannot leak them.
 //
 // Usage:
 //

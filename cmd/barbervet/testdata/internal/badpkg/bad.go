@@ -1,10 +1,11 @@
 // Package badpkg is a barbervet fixture: every declaration below violates
-// one of the linter's rules (R001-R004). It lives under testdata so the go
+// one of the linter's rules (R001-R005). It lives under testdata so the go
 // tool never builds it; barbervet's tests and the CLI integration test point
 // the linter at this directory and expect a non-zero exit.
 package badpkg
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -39,3 +40,17 @@ func (fakeDB) Execute(sql string) (int, error) { return 0, nil }
 
 // Drop discards Execute's error: R004.
 func Drop(db fakeDB) { db.Execute("SELECT 1") }
+
+// Detach mints a root context inside library code instead of accepting the
+// caller's ctx: R005.
+func Detach(db fakeDB) (int, error) {
+	ctx := context.Background()
+	_ = ctx
+	return db.Execute("SELECT 1")
+}
+
+// Leak fires a goroutine with no WaitGroup join, so a cancelled caller can
+// return while it still runs: R005.
+func Leak() {
+	go Roll()
+}

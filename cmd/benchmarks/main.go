@@ -9,18 +9,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"sqlbarber/internal/benchmarks"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7queries|fig7intervals|fig8a|fig8b|table2|analyzer|all")
+		exp     = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7queries|fig7intervals|fig8a|fig8b|table2|analyzer|parallel|all")
 		scale   = flag.String("scale", "quick", "scale: quick|full")
 		seed    = flag.Int64("seed", 1, "random seed")
 		methods = flag.String("methods", "", "comma-separated method subset (default: all five)")
@@ -47,6 +50,8 @@ func main() {
 	}
 	r := benchmarks.NewRunner(sc, *seed)
 	w := os.Stdout
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -73,7 +78,7 @@ func main() {
 
 	run("table1", func() error { benchmarks.PrintTable1(w); return nil })
 	run("fig5", func() error {
-		results, err := r.RunFigure5(w, ms)
+		results, err := r.RunFigure5(ctx, w, ms)
 		if err != nil {
 			return err
 		}
@@ -87,7 +92,7 @@ func main() {
 		})
 	})
 	run("fig6", func() error {
-		results, err := r.RunFigure6(w, ms)
+		results, err := r.RunFigure6(ctx, w, ms)
 		if err != nil {
 			return err
 		}
@@ -105,7 +110,7 @@ func main() {
 		if sc.Name == "quick" {
 			counts = []int{25, 100, 400}
 		}
-		pts, err := r.RunFigure7Queries(w, counts, figure7Methods(ms))
+		pts, err := r.RunFigure7Queries(ctx, w, counts, figure7Methods(ms))
 		if err != nil {
 			return err
 		}
@@ -114,7 +119,7 @@ func main() {
 		})
 	})
 	run("fig7intervals", func() error {
-		pts, err := r.RunFigure7Intervals(w, nil, figure7Methods(ms))
+		pts, err := r.RunFigure7Intervals(ctx, w, nil, figure7Methods(ms))
 		if err != nil {
 			return err
 		}
@@ -123,7 +128,7 @@ func main() {
 		})
 	})
 	run("fig8a", func() error {
-		curve, err := r.RunFigure8Rewrite(w)
+		curve, err := r.RunFigure8Rewrite(ctx, w)
 		if err != nil {
 			return err
 		}
@@ -131,9 +136,16 @@ func main() {
 			return benchmarks.WriteRewriteCSV(f, curve)
 		})
 	})
-	run("fig8b", func() error { _, err := r.RunFigure8Ablation(w); return err })
-	run("table2", func() error { _, err := r.RunTable2(w); return err })
-	run("analyzer", func() error { _, err := r.RunAnalyzerSavings(w); return err })
+	run("fig8b", func() error { _, err := r.RunFigure8Ablation(ctx, w); return err })
+	run("table2", func() error { _, err := r.RunTable2(ctx, w); return err })
+	run("analyzer", func() error { _, err := r.RunAnalyzerSavings(ctx, w); return err })
+	run("parallel", func() error {
+		if _, err := r.RunParallelScaling(ctx, w, nil); err != nil {
+			return err
+		}
+		_, err := r.RunPreparedMicrobench(ctx, w, 0)
+		return err
+	})
 }
 
 // figure7Methods reduces to the three-series legend of Figure 7

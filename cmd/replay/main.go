@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -66,7 +67,7 @@ func main() {
 	failures, errors := 0, 0
 	var maxRel float64
 	for i, q := range queries {
-		got, err := db.Cost(q.SQL, kind)
+		got, err := db.Cost(context.Background(), q.SQL, kind)
 		if err != nil {
 			errors++
 			fmt.Fprintf(os.Stderr, "query %d fails: %v\n", i, err)

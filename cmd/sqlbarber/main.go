@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"sqlbarber/internal/core"
@@ -35,6 +38,7 @@ func main() {
 		interval   = flag.Int("intervals", 10, "number of cost intervals")
 		rangeHi    = flag.Float64("range", 2500, "top of the target cost range")
 		seed       = flag.Int64("seed", 1, "random seed")
+		parallel   = flag.Int("parallel", 1, "worker goroutines for generation/profiling/search (output is byte-identical for any value)")
 		specJSON   = flag.String("spec", "", "JSON template specifications (default: Redset-derived workload)")
 		out        = flag.String("out", "", "output file (default: stdout)")
 		format     = flag.String("format", "sql", "output format: sql|json")
@@ -112,15 +116,23 @@ func main() {
 		Specs:    specs,
 		Target:   target,
 		Seed:     *seed,
+		Parallel: *parallel,
 	}
 	if *verbose {
 		cfg.Progress = func(elapsed time.Duration, dist float64) {
 			fmt.Fprintf(os.Stderr, "  t=%-12s distance=%.1f\n", elapsed.Round(time.Millisecond), dist)
 		}
 	}
-	res, err := core.Generate(cfg)
+	// Ctrl-C cancels the pipeline at the next stage boundary; the partial
+	// workload gathered so far is still written out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := core.Generate(ctx, cfg)
 	if err != nil {
 		fatal("generation failed: %v", err)
+	}
+	if res.Partial {
+		fmt.Fprintf(os.Stderr, "sqlbarber: interrupted during the %q stage; writing the partial workload gathered so far\n", res.CancelledStage)
 	}
 
 	w := os.Stdout

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 	}
 
 	target := stats.Normal(0, 1200, 6, 60, 600, 250)
-	res, err := core.Generate(core.Config{
+	res, err := core.Generate(context.Background(), core.Config{
 		DB:       db,
 		Oracle:   llm.NewSim(llm.SimOptions{Seed: 7}),
 		CostKind: engine.Cardinality,

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -37,7 +38,7 @@ func main() {
 		{NumJoins: spec.Int(0), NumPredicates: spec.Int(1), GroupBy: spec.Bool(true)},
 	}
 
-	res, err := core.Generate(core.Config{
+	res, err := core.Generate(context.Background(), core.Config{
 		DB:       db,
 		Oracle:   llm.NewSim(llm.SimOptions{Seed: 99}),
 		CostKind: engine.Cardinality,

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 	target := stats.Uniform(0, 1500, 6, 100)
 
 	// 4. Generate.
-	res, err := core.Generate(core.Config{
+	res, err := core.Generate(context.Background(), core.Config{
 		DB:       db,
 		Oracle:   llm.NewSim(llm.SimOptions{Seed: 42}),
 		CostKind: engine.Cardinality,

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 	specs := realworld.RedsetSpecs(21)
 	target := realworld.RedsetCost(0, 2500, 10, 300)
 
-	res, err := core.Generate(core.Config{
+	res, err := core.Generate(context.Background(), core.Config{
 		DB:       db,
 		Oracle:   oracle,
 		CostKind: engine.PlanCost,

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -23,7 +24,7 @@ func main() {
 	v13 := engine.OpenTPCH(8, 0.3)
 
 	// 1. Generate a frozen, realistic benchmark workload against v13.
-	res, err := core.Generate(core.Config{
+	res, err := core.Generate(context.Background(), core.Config{
 		DB:       v13,
 		Oracle:   llm.NewSim(llm.SimOptions{Seed: 8}),
 		CostKind: engine.PlanCost,
@@ -54,7 +55,7 @@ func main() {
 	var ratios []float64
 	costsNew := make([]float64, len(res.Workload))
 	for i, q := range res.Workload {
-		newCost, err := v14.Cost(q.SQL, engine.PlanCost)
+		newCost, err := v14.Cost(context.Background(), q.SQL, engine.PlanCost)
 		if err != nil {
 			failures++
 			continue

@@ -1,6 +1,7 @@
 package analyzer_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -187,7 +188,7 @@ func TestCorpusSilent(t *testing.T) {
 				continue
 			}
 			for _, p := range paths {
-				sql, err := oracle.GenerateTemplate(llm.GenerateRequest{
+				sql, err := oracle.GenerateTemplate(context.Background(), llm.GenerateRequest{
 					Schema: db.Schema(), JoinPath: p, Spec: s,
 				})
 				if err != nil {

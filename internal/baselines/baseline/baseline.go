@@ -6,6 +6,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"regexp"
@@ -53,6 +54,7 @@ type Env struct {
 	// Progress, when non-nil, is called periodically with all queries.
 	Progress func(queries []workload.Query)
 
+	ctx     context.Context
 	evals   int
 	queries []workload.Query
 	unique  []map[string]bool
@@ -60,9 +62,11 @@ type Env struct {
 }
 
 // NewEnv prepares an environment, deriving search spaces from the template
-// library (templates that fail to bind are skipped).
-func NewEnv(db *engine.DB, kind engine.CostKind, target *stats.TargetDistribution, library []*sqltemplate.Template, maxEvals int) (*Env, error) {
-	e := &Env{DB: db, Kind: kind, Target: target, MaxEvals: maxEvals}
+// library (templates that fail to bind are skipped). The context is retained
+// for the lifetime of the run it scopes: cancellation makes the environment
+// report itself exhausted, so baseline loops stop at their next evaluation.
+func NewEnv(ctx context.Context, db *engine.DB, kind engine.CostKind, target *stats.TargetDistribution, library []*sqltemplate.Template, maxEvals int) (*Env, error) {
+	e := &Env{DB: db, Kind: kind, Target: target, MaxEvals: maxEvals, ctx: ctx}
 	for _, t := range library {
 		b, err := t.BindPlaceholders(db.Schema())
 		if err != nil || len(b) == 0 {
@@ -85,8 +89,9 @@ func NewEnv(db *engine.DB, kind engine.CostKind, target *stats.TargetDistributio
 	return e, nil
 }
 
-// Exhausted reports whether the evaluation budget is spent.
-func (e *Env) Exhausted() bool { return e.evals >= e.MaxEvals }
+// Exhausted reports whether the evaluation budget is spent or the run's
+// context has been cancelled.
+func (e *Env) Exhausted() bool { return e.evals >= e.MaxEvals || e.ctx.Err() != nil }
 
 // Evals returns the number of DBMS evaluations consumed.
 func (e *Env) Evals() int { return e.evals }
@@ -123,7 +128,7 @@ func (e *Env) Eval(si int, raw []float64) (cost float64, ok bool) {
 		return 0, false
 	}
 	e.evals++
-	c, err := e.DB.Cost(sql, e.Kind)
+	c, err := e.DB.Cost(e.ctx, sql, e.Kind)
 	if err != nil {
 		return 0, false
 	}

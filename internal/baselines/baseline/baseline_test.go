@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"sqlbarber/internal/engine"
@@ -74,7 +75,7 @@ func TestBuildLibraryMutatesStructure(t *testing.T) {
 func TestEnvBudgetAndRecording(t *testing.T) {
 	db, seeds := seedsAndDB(t)
 	target := stats.Uniform(0, 1000, 4, 20)
-	env, err := NewEnv(db, engine.Cardinality, target, seeds, 10)
+	env, err := NewEnv(context.Background(), db, engine.Cardinality, target, seeds, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestEnvBudgetAndRecording(t *testing.T) {
 func TestEnvDeduplicatesQueries(t *testing.T) {
 	db, seeds := seedsAndDB(t)
 	target := stats.Uniform(0, 10000, 2, 20)
-	env, err := NewEnv(db, engine.Cardinality, target, seeds, 50)
+	env, err := NewEnv(context.Background(), db, engine.Cardinality, target, seeds, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestScheduleHeuristics(t *testing.T) {
 	db, seeds := seedsAndDB(t)
 	ivs := stats.SplitRange(0, 100, 3)
 	target := &stats.TargetDistribution{Intervals: ivs, Counts: []int{5, 1, 3}}
-	env, err := NewEnv(db, engine.Cardinality, target, seeds, 10)
+	env, err := NewEnv(context.Background(), db, engine.Cardinality, target, seeds, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestNewEnvRejectsEmptyLibrary(t *testing.T) {
 	db, _ := seedsAndDB(t)
 	target := stats.Uniform(0, 100, 2, 10)
 	broken := []*sqltemplate.Template{sqltemplate.MustParse("SELECT o_orderkey FROM orders")}
-	if _, err := NewEnv(db, engine.Cardinality, target, broken, 10); err == nil {
+	if _, err := NewEnv(context.Background(), db, engine.Cardinality, target, broken, 10); err == nil {
 		t.Fatal("library without placeholders must be rejected")
 	}
 }

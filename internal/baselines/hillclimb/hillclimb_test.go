@@ -1,6 +1,7 @@
 package hillclimb
 
 import (
+	"context"
 	"testing"
 
 	"sqlbarber/internal/baselines/baseline"
@@ -21,7 +22,7 @@ func newEnv(t testing.TB, target *stats.TargetDistribution, budget int) *baselin
 		s.ID = i + 1
 	}
 	lib := baseline.BuildLibrary(db.Schema(), seeds, 40, 1)
-	env, err := baseline.NewEnv(db, engine.Cardinality, target, lib, budget)
+	env, err := baseline.NewEnv(context.Background(), db, engine.Cardinality, target, lib, budget)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package benchmarks
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -73,7 +74,7 @@ func deltaPct(static, legacy float64) float64 {
 // hallucinating oracle — once with the analyzer fronting Algorithm 1, once
 // with the legacy judge-then-DBMS flow — and reports the judge-call, DBMS
 // round-trip, and token deltas per valid template.
-func (r *Runner) RunAnalyzerSavings(w io.Writer) (AnalyzerSavings, error) {
+func (r *Runner) RunAnalyzerSavings(ctx context.Context, w io.Writer) (AnalyzerSavings, error) {
 	runArm := func(name string, disable bool) (AnalyzerArm, error) {
 		// A fresh database keeps the instrumentation counters isolated from
 		// the runner's cached instance.
@@ -83,7 +84,7 @@ func (r *Runner) RunAnalyzerSavings(w io.Writer) (AnalyzerSavings, error) {
 			Seed:                  r.Seed,
 			DisableStaticAnalysis: disable,
 		})
-		results, err := gen.GenerateAll(r.Specs())
+		results, err := gen.GenerateAll(ctx, r.Specs())
 		if err != nil {
 			return AnalyzerArm{}, err
 		}

@@ -2,6 +2,7 @@ package benchmarks
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -13,7 +14,7 @@ import (
 func TestAnalyzerSavingsReport(t *testing.T) {
 	r := NewRunner(tiny(), 17)
 	var buf bytes.Buffer
-	s, err := r.RunAnalyzerSavings(&buf)
+	s, err := r.RunAnalyzerSavings(context.Background(), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}

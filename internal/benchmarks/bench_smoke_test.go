@@ -2,6 +2,7 @@ package benchmarks
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -51,7 +52,7 @@ func TestRunAllMethodsOnUniform(t *testing.T) {
 	}
 	var barber, hc MethodResult
 	for _, m := range []Method{SQLBarber, HillClimbOrder, LearnedSQLPrio} {
-		res, err := r.RunMethod(m, b, TPCH)
+		res, err := r.RunMethod(context.Background(), m, b, TPCH)
 		if err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
@@ -74,7 +75,7 @@ func TestRunAllMethodsOnUniform(t *testing.T) {
 func TestFigure8RewriteCurveIsMonotone(t *testing.T) {
 	r := NewRunner(tiny(), 5)
 	var buf bytes.Buffer
-	curve, err := r.RunFigure8Rewrite(&buf)
+	curve, err := r.RunFigure8Rewrite(context.Background(), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}

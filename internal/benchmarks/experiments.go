@@ -1,6 +1,7 @@
 package benchmarks
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -18,17 +19,17 @@ import (
 // all five methods. Results are printed as the figure's two panels per
 // benchmark (distance trajectory endpoints and E2E time bars) and returned
 // for CSV export.
-func (r *Runner) RunFigure5(w io.Writer, methods []Method) ([]MethodResult, error) {
-	return r.runFigure(w, "Figure 5 (Cardinality)", CardinalityBenchmarks(), engine.Cardinality, methods)
+func (r *Runner) RunFigure5(ctx context.Context, w io.Writer, methods []Method) ([]MethodResult, error) {
+	return r.runFigure(ctx, w, "Figure 5 (Cardinality)", CardinalityBenchmarks(), engine.Cardinality, methods)
 }
 
 // RunFigure6 reproduces Figure 6: the performance comparison for execution
 // plan cost targets.
-func (r *Runner) RunFigure6(w io.Writer, methods []Method) ([]MethodResult, error) {
-	return r.runFigure(w, "Figure 6 (Execution Plan Cost)", CostBenchmarks(), engine.PlanCost, methods)
+func (r *Runner) RunFigure6(ctx context.Context, w io.Writer, methods []Method) ([]MethodResult, error) {
+	return r.runFigure(ctx, w, "Figure 6 (Execution Plan Cost)", CostBenchmarks(), engine.PlanCost, methods)
 }
 
-func (r *Runner) runFigure(w io.Writer, title string, benches []Benchmark, kind engine.CostKind, methods []Method) ([]MethodResult, error) {
+func (r *Runner) runFigure(ctx context.Context, w io.Writer, title string, benches []Benchmark, kind engine.CostKind, methods []Method) ([]MethodResult, error) {
 	fmt.Fprintf(w, "=== %s | scale=%s sf=%.1f range=[0,%.0f) ===\n", title, r.Scale.Name, r.Scale.SF, r.Scale.RangeHi)
 	var all []MethodResult
 	for _, b := range benches {
@@ -39,7 +40,7 @@ func (r *Runner) runFigure(w io.Writer, title string, benches []Benchmark, kind 
 		var panel []MethodResult
 		for _, ds := range []Dataset{TPCH, IMDB} {
 			for _, m := range methods {
-				res, err := r.runMethodOn(m, b, ds, target.Clone(), kind)
+				res, err := r.runMethodOn(ctx, m, b, ds, target.Clone(), kind)
 				if err != nil {
 					return all, fmt.Errorf("%s/%s/%s: %w", b.Name, ds, m, err)
 				}
@@ -66,7 +67,7 @@ type ScalingPoint struct {
 
 // RunFigure7Queries reproduces Figure 7 (a)-(b): scaling with the number of
 // queries on the Redset_Cost_Hard distribution over IMDB, 10 intervals.
-func (r *Runner) RunFigure7Queries(w io.Writer, queryCounts []int, methods []Method) ([]ScalingPoint, error) {
+func (r *Runner) RunFigure7Queries(ctx context.Context, w io.Writer, queryCounts []int, methods []Method) ([]ScalingPoint, error) {
 	if len(queryCounts) == 0 {
 		queryCounts = []int{50, 500, 5000}
 	}
@@ -77,7 +78,7 @@ func (r *Runner) RunFigure7Queries(w io.Writer, queryCounts []int, methods []Met
 	for _, n := range queryCounts {
 		target := realworld.RedsetCost(0, r.Scale.RangeHi, 10, n)
 		for _, m := range methods {
-			res, err := r.runMethodOn(m, b, IMDB, target.Clone(), engine.PlanCost)
+			res, err := r.runMethodOn(ctx, m, b, IMDB, target.Clone(), engine.PlanCost)
 			if err != nil {
 				return out, err
 			}
@@ -92,7 +93,7 @@ func (r *Runner) RunFigure7Queries(w io.Writer, queryCounts []int, methods []Met
 
 // RunFigure7Intervals reproduces Figure 7 (c)-(d): scaling with the number
 // of intervals, 1000 queries on IMDB.
-func (r *Runner) RunFigure7Intervals(w io.Writer, intervalCounts []int, methods []Method) ([]ScalingPoint, error) {
+func (r *Runner) RunFigure7Intervals(ctx context.Context, w io.Writer, intervalCounts []int, methods []Method) ([]ScalingPoint, error) {
 	if len(intervalCounts) == 0 {
 		intervalCounts = []int{5, 10, 15, 20, 25}
 	}
@@ -107,7 +108,7 @@ func (r *Runner) RunFigure7Intervals(w io.Writer, intervalCounts []int, methods 
 		b.NumIntervals = k
 		target := realworld.RedsetCost(0, r.Scale.RangeHi, k, n)
 		for _, m := range methods {
-			res, err := r.runMethodOn(m, b, IMDB, target.Clone(), engine.PlanCost)
+			res, err := r.runMethodOn(ctx, m, b, IMDB, target.Clone(), engine.PlanCost)
 			if err != nil {
 				return out, err
 			}
@@ -133,7 +134,7 @@ type RewriteCurve struct {
 // RunFigure8Rewrite reproduces Figure 8(a): generate the 24 Redset-spec
 // templates on IMDB with the hallucinating oracle and track how many are
 // specification- and syntax-correct after each rewrite attempt.
-func (r *Runner) RunFigure8Rewrite(w io.Writer) (RewriteCurve, error) {
+func (r *Runner) RunFigure8Rewrite(ctx context.Context, w io.Writer) (RewriteCurve, error) {
 	db := r.DB(IMDB)
 	oracle := llm.NewSim(llm.SimOptions{Seed: r.Seed})
 	gen := generator.New(db, oracle, generator.Options{Seed: r.Seed})
@@ -142,7 +143,7 @@ func (r *Runner) RunFigure8Rewrite(w io.Writer) (RewriteCurve, error) {
 	type state struct{ specAt, syntaxAt int } // first attempt at which OK
 	var states []state
 	for _, s := range specs {
-		res, err := gen.Generate(s)
+		res, err := gen.Generate(ctx, s)
 		if err != nil {
 			return RewriteCurve{}, err
 		}
@@ -199,7 +200,7 @@ type AblationSeries struct {
 
 // RunFigure8Ablation reproduces Figure 8(b): SQLBarber vs No-Refine-Prune vs
 // Naive-Search on IMDB with the Redset_Cost distribution.
-func (r *Runner) RunFigure8Ablation(w io.Writer) ([]AblationSeries, error) {
+func (r *Runner) RunFigure8Ablation(ctx context.Context, w io.Writer) ([]AblationSeries, error) {
 	db := r.DB(IMDB)
 	b, _ := ByName("Redset_Cost_Hard")
 	target := b.Target(0, r.Scale.RangeHi, r.Scale.QueryDivisor)
@@ -223,7 +224,7 @@ func (r *Runner) RunFigure8Ablation(w io.Writer) ([]AblationSeries, error) {
 			Seed:     r.Seed,
 		}
 		v.mod(&cfg)
-		res, err := core.Generate(cfg)
+		res, err := core.Generate(ctx, cfg)
 		if err != nil {
 			return out, err
 		}
@@ -249,7 +250,7 @@ type CostRow struct {
 
 // RunTable2 reproduces Table 2: token usage, template counts, and monetary
 // cost (at o3-mini prices) of SQLBarber on IMDB for three benchmarks.
-func (r *Runner) RunTable2(w io.Writer) ([]CostRow, error) {
+func (r *Runner) RunTable2(ctx context.Context, w io.Writer) ([]CostRow, error) {
 	db := r.DB(IMDB)
 	names := []string{"uniform", "Redset_Cost_Medium", "Redset_Cost_Hard"}
 	fmt.Fprintf(w, "=== Table 2: SQLBarber token usage and cost on IMDB ===\n")
@@ -261,7 +262,7 @@ func (r *Runner) RunTable2(w io.Writer) ([]CostRow, error) {
 			return rows, err
 		}
 		oracle := llm.NewSim(llm.SimOptions{Seed: r.Seed})
-		res, err := core.Generate(core.Config{
+		res, err := core.Generate(ctx, core.Config{
 			DB:       db,
 			Oracle:   oracle,
 			CostKind: engine.PlanCost,

@@ -2,6 +2,7 @@ package benchmarks
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -15,7 +16,7 @@ func micro() Scale {
 func TestRunFigure5MicroSQLBarberOnly(t *testing.T) {
 	r := NewRunner(micro(), 2)
 	var buf bytes.Buffer
-	results, err := r.RunFigure5(&buf, []Method{SQLBarber})
+	results, err := r.RunFigure5(context.Background(), &buf, []Method{SQLBarber})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestRunFigure5MicroSQLBarberOnly(t *testing.T) {
 func TestRunFigure6MicroSQLBarberOnly(t *testing.T) {
 	r := NewRunner(micro(), 2)
 	var buf bytes.Buffer
-	results, err := r.RunFigure6(&buf, []Method{SQLBarber})
+	results, err := r.RunFigure6(context.Background(), &buf, []Method{SQLBarber})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestRunFigure6MicroSQLBarberOnly(t *testing.T) {
 func TestRunFigure7Micro(t *testing.T) {
 	r := NewRunner(micro(), 2)
 	var buf bytes.Buffer
-	pts, err := r.RunFigure7Queries(&buf, []int{10, 20}, []Method{SQLBarber})
+	pts, err := r.RunFigure7Queries(context.Background(), &buf, []int{10, 20}, []Method{SQLBarber})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestRunFigure7Micro(t *testing.T) {
 	if pts[0].X != 10 || pts[1].X != 20 {
 		t.Fatalf("sorted points: %+v", pts)
 	}
-	pts2, err := r.RunFigure7Intervals(&buf, []int{4, 6}, []Method{SQLBarber})
+	pts2, err := r.RunFigure7Intervals(context.Background(), &buf, []int{4, 6}, []Method{SQLBarber})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestRunFigure7Micro(t *testing.T) {
 func TestRunFigure8AblationMicro(t *testing.T) {
 	r := NewRunner(micro(), 2)
 	var buf bytes.Buffer
-	series, err := r.RunFigure8Ablation(&buf)
+	series, err := r.RunFigure8Ablation(context.Background(), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestRunFigure8AblationMicro(t *testing.T) {
 func TestRunTable2Micro(t *testing.T) {
 	r := NewRunner(micro(), 2)
 	var buf bytes.Buffer
-	rows, err := r.RunTable2(&buf)
+	rows, err := r.RunTable2(context.Background(), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}

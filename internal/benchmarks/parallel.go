@@ -1,0 +1,179 @@
+package benchmarks
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"time"
+
+	"sqlbarber/internal/core"
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/prand"
+	"sqlbarber/internal/sqltemplate"
+	"sqlbarber/internal/sqltypes"
+	"sqlbarber/internal/stats"
+	"sqlbarber/internal/workload"
+)
+
+// ParallelPoint is one row of the parallel-scaling experiment.
+type ParallelPoint struct {
+	Workers  int
+	Elapsed  time.Duration
+	Speedup  float64
+	DBCalls  int64
+	Distance float64
+	// Hash fingerprints the produced workload (SQL + cost of every query, in
+	// order); identical hashes across worker counts prove the byte-identical
+	// determinism contract.
+	Hash string
+}
+
+// workloadHash fingerprints a workload's exact content and order.
+func workloadHash(qs []workload.Query) string {
+	h := sha256.New()
+	for _, q := range qs {
+		fmt.Fprintf(h, "%s\x00%.9g\x00%d\n", q.SQL, q.Cost, q.TemplateID)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// RunParallelScaling measures what deterministic parallelism buys: the full
+// pipeline runs at several worker counts against TPC-H with a
+// simulated-latency oracle (each LLM call sleeps like a hosted-model round
+// trip, which is where real runs spend their wall clock), reporting
+// wall-clock speedup while verifying the determinism contract — the same
+// workload hash and the same DBMS evaluation count at every level. A hash or
+// evaluation-count mismatch is returned as an error.
+func (r *Runner) RunParallelScaling(ctx context.Context, w io.Writer, levels []int) ([]ParallelPoint, error) {
+	if len(levels) == 0 {
+		levels = []int{1, 2, 4, 8}
+	}
+	const latency = 25 * time.Millisecond
+	fmt.Fprintf(w, "=== Parallel scaling | TPC-H sf=%.1f, simulated LLM latency %s ===\n", r.Scale.SF, latency)
+	var out []ParallelPoint
+	for _, lvl := range levels {
+		// A fresh database per level isolates evaluation counters and the
+		// plan cache, so every level does identical work.
+		db := TPCH.Open(r.Seed, r.Scale.SF)
+		target := stats.Uniform(0, r.Scale.RangeHi, 5, 600/r.Scale.QueryDivisor)
+		start := time.Now()
+		res, err := core.Generate(ctx, core.Config{
+			DB:       db,
+			Oracle:   llm.NewSim(llm.SimOptions{Seed: r.Seed, Latency: latency}),
+			CostKind: engine.Cardinality,
+			Specs:    r.Specs(),
+			Target:   target,
+			Seed:     r.Seed,
+			Parallel: lvl,
+		})
+		if err != nil {
+			return out, err
+		}
+		pt := ParallelPoint{
+			Workers:  lvl,
+			Elapsed:  time.Since(start),
+			DBCalls:  res.DBCalls,
+			Distance: res.Distance,
+			Hash:     workloadHash(res.Workload),
+		}
+		pt.Speedup = 1
+		if len(out) > 0 {
+			pt.Speedup = float64(out[0].Elapsed) / float64(pt.Elapsed)
+		}
+		out = append(out, pt)
+		fmt.Fprintf(w, "workers=%-3d elapsed=%-12s speedup=%-6.2f dbcalls=%-8d distance=%-8.1f workload=%s\n",
+			pt.Workers, pt.Elapsed.Round(time.Millisecond), pt.Speedup, pt.DBCalls, pt.Distance, pt.Hash)
+	}
+	for _, pt := range out[1:] {
+		if pt.Hash != out[0].Hash {
+			return out, fmt.Errorf("benchmarks: determinism violated: workers=%d workload hash %s != sequential %s",
+				pt.Workers, pt.Hash, out[0].Hash)
+		}
+		if pt.DBCalls != out[0].DBCalls {
+			return out, fmt.Errorf("benchmarks: DBMS evaluation count drifted: workers=%d used %d calls, sequential used %d",
+				pt.Workers, pt.DBCalls, out[0].DBCalls)
+		}
+	}
+	fmt.Fprintf(w, "determinism: all %d levels produced workload %s with %d DBMS calls\n",
+		len(out), out[0].Hash, out[0].DBCalls)
+	return out, nil
+}
+
+// PreparedBenchResult compares prepared-template probing against re-parsing
+// the instantiated SQL from scratch on every probe.
+type PreparedBenchResult struct {
+	Probes       int
+	PreparedTime time.Duration
+	ReparseTime  time.Duration
+}
+
+// Speedup is reparse-time / prepared-time.
+func (r PreparedBenchResult) Speedup() float64 {
+	if r.PreparedTime <= 0 {
+		return 0
+	}
+	return float64(r.ReparseTime) / float64(r.PreparedTime)
+}
+
+// RunPreparedMicrobench times the prepared-template fast path (parse and
+// bind once, re-plan per probe) against the legacy full lex/parse/bind per
+// probe, verifying both arms agree on every cost.
+func (r *Runner) RunPreparedMicrobench(ctx context.Context, w io.Writer, probes int) (PreparedBenchResult, error) {
+	if probes <= 0 {
+		probes = 2000
+	}
+	db := TPCH.Open(r.Seed, r.Scale.SF)
+	const tmplSQL = "SELECT l_returnflag, SUM(l_extendedprice) FROM lineitem " +
+		"WHERE l_quantity >= {p_1} AND l_extendedprice < {p_2} GROUP BY l_returnflag"
+	tmpl := sqltemplate.MustParse(tmplSQL)
+	prep, err := db.Prepare(tmplSQL)
+	if err != nil {
+		return PreparedBenchResult{}, err
+	}
+	valsAt := func(i int) map[string]sqltypes.Value {
+		rng := prand.New(r.Seed, prand.StageProfile, int64(i))
+		return map[string]sqltypes.Value{
+			"p_1": sqltypes.NewInt(1 + rng.Int63n(50)),
+			"p_2": sqltypes.NewFloat(100 + rng.Float64()*90000),
+		}
+	}
+
+	res := PreparedBenchResult{Probes: probes}
+	costs := make([]float64, probes)
+	start := time.Now()
+	for i := 0; i < probes; i++ {
+		c, err := prep.Cost(ctx, valsAt(i), engine.Cardinality)
+		if err != nil {
+			return res, err
+		}
+		costs[i] = c
+	}
+	res.PreparedTime = time.Since(start)
+
+	start = time.Now()
+	for i := 0; i < probes; i++ {
+		sql, err := tmpl.Instantiate(valsAt(i))
+		if err != nil {
+			return res, err
+		}
+		c, err := db.Cost(ctx, sql, engine.Cardinality)
+		if err != nil {
+			return res, err
+		}
+		if c != costs[i] {
+			return res, fmt.Errorf("benchmarks: prepared cost %.6g != reparse cost %.6g at probe %d", costs[i], c, i)
+		}
+	}
+	res.ReparseTime = time.Since(start)
+
+	fmt.Fprintf(w, "=== Prepared-template microbenchmark | %d probes on TPC-H sf=%.1f ===\n", probes, r.Scale.SF)
+	fmt.Fprintf(w, "prepared (parse once, re-plan per probe): %-12s %.1f µs/probe\n",
+		res.PreparedTime.Round(time.Millisecond), float64(res.PreparedTime.Microseconds())/float64(probes))
+	fmt.Fprintf(w, "reparse  (full lex/parse/bind per probe): %-12s %.1f µs/probe\n",
+		res.ReparseTime.Round(time.Millisecond), float64(res.ReparseTime.Microseconds())/float64(probes))
+	fmt.Fprintf(w, "speedup: %.2fx (all %d costs identical across arms)\n", res.Speedup(), probes)
+	return res, nil
+}

@@ -1,6 +1,7 @@
 package benchmarks
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -68,6 +69,9 @@ func (r MethodResult) ProjectedE2E() time.Duration {
 type Runner struct {
 	Scale Scale
 	Seed  int64
+	// Parallel is forwarded to core.Config.Parallel for SQLBarber runs
+	// (default 1; results are byte-identical for any value).
+	Parallel int
 
 	mu        sync.Mutex
 	dbs       map[string]*engine.DB
@@ -105,7 +109,7 @@ func (r *Runner) Specs() []spec.Spec { return realworld.RedsetSpecs(r.Seed) }
 // seedTemplates generates the baseline seed templates once per dataset using
 // a hallucination-free oracle (baselines receive correct templates as input,
 // per §6.1 — their weakness is search, not generation).
-func (r *Runner) seedTemplates(ds Dataset) []*sqltemplate.Template {
+func (r *Runner) seedTemplates(ctx context.Context, ds Dataset) []*sqltemplate.Template {
 	db := r.DB(ds)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -114,7 +118,7 @@ func (r *Runner) seedTemplates(ds Dataset) []*sqltemplate.Template {
 		return ts
 	}
 	gen := generator.New(db, llm.NewSim(llm.Perfect(r.Seed)), generator.Options{Seed: r.Seed})
-	results, err := gen.GenerateAll(r.Specs())
+	results, err := gen.GenerateAll(ctx, r.Specs())
 	if err != nil {
 		panic(fmt.Sprintf("benchmarks: seed template generation failed: %v", err))
 	}
@@ -124,8 +128,8 @@ func (r *Runner) seedTemplates(ds Dataset) []*sqltemplate.Template {
 }
 
 // Library returns the mutated baseline template library for a dataset.
-func (r *Runner) Library(ds Dataset) []*sqltemplate.Template {
-	seeds := r.seedTemplates(ds)
+func (r *Runner) Library(ctx context.Context, ds Dataset) []*sqltemplate.Template {
+	seeds := r.seedTemplates(ctx, ds)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	key := string(ds)
@@ -138,24 +142,25 @@ func (r *Runner) Library(ds Dataset) []*sqltemplate.Template {
 }
 
 // RunMethod executes one method on one benchmark and dataset.
-func (r *Runner) RunMethod(m Method, b Benchmark, ds Dataset) (MethodResult, error) {
-	return r.runMethodOn(m, b, ds, b.Target(0, r.Scale.RangeHi, r.Scale.QueryDivisor), b.CostKind)
+func (r *Runner) RunMethod(ctx context.Context, m Method, b Benchmark, ds Dataset) (MethodResult, error) {
+	return r.runMethodOn(ctx, m, b, ds, b.Target(0, r.Scale.RangeHi, r.Scale.QueryDivisor), b.CostKind)
 }
 
-func (r *Runner) runMethodOn(m Method, b Benchmark, ds Dataset, target *stats.TargetDistribution, kind engine.CostKind) (MethodResult, error) {
+func (r *Runner) runMethodOn(ctx context.Context, m Method, b Benchmark, ds Dataset, target *stats.TargetDistribution, kind engine.CostKind) (MethodResult, error) {
 	db := r.DB(ds)
 	res := MethodResult{Method: m, Benchmark: b.Name, Dataset: ds}
 	startEvals := db.ExplainCalls() + db.ExecCalls()
 	start := time.Now()
 	switch m {
 	case SQLBarber:
-		out, err := core.Generate(core.Config{
+		out, err := core.Generate(ctx, core.Config{
 			DB:       db,
 			Oracle:   llm.NewSim(llm.SimOptions{Seed: r.Seed}),
 			CostKind: kind,
 			Specs:    r.Specs(),
 			Target:   target,
 			Seed:     r.Seed,
+			Parallel: r.Parallel,
 		})
 		if err != nil {
 			return res, err
@@ -166,9 +171,9 @@ func (r *Runner) runMethodOn(m Method, b Benchmark, ds Dataset, target *stats.Ta
 			res.Trajectory = append(res.Trajectory, TrajectoryPoint{p.Elapsed, p.Distance})
 		}
 	case HillClimbOrder, HillClimbPrio, LearnedSQLOrder, LearnedSQLPrio:
-		lib := r.Library(ds)
+		lib := r.Library(ctx, ds)
 		budget := r.Scale.BaselineEvalsPerQuery * target.Total()
-		env, err := baseline.NewEnv(db, kind, target, lib, budget)
+		env, err := baseline.NewEnv(ctx, db, kind, target, lib, budget)
 		if err != nil {
 			return res, err
 		}

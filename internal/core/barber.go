@@ -1,226 +1,35 @@
 // Package core is SQLBarber's public heart: the end-to-end customized and
-// realistic workload generator of Definition 2.13. It wires together the §4
-// template generator (with Algorithm 1 self-correction), §5.1 profiling,
-// §5.2 refinement and pruning, and §5.3 BO predicate search, and assembles
-// the final N-query workload matching the target cost distribution.
+// realistic workload generator of Definition 2.13. Since the staged-pipeline
+// refactor the actual orchestration lives in internal/pipeline — §4 template
+// generation, §5.1 profiling, the §5.2+§5.3 refine/search loop, and final
+// assembly run as explicit, individually timed stages over a shared RunState.
+// This package re-exports the pipeline's configuration and result types under
+// their historical names and keeps Generate as the single entry point.
 package core
 
 import (
-	"fmt"
-	"math/rand"
-	"time"
+	"context"
 
-	"sqlbarber/internal/engine"
-	"sqlbarber/internal/generator"
-	"sqlbarber/internal/llm"
-	"sqlbarber/internal/profiler"
-	"sqlbarber/internal/refine"
-	"sqlbarber/internal/search"
-	"sqlbarber/internal/spec"
-	"sqlbarber/internal/stats"
-	"sqlbarber/internal/workload"
+	"sqlbarber/internal/pipeline"
 )
 
 // Config describes one workload-generation task.
-type Config struct {
-	// DB is the target database.
-	DB *engine.DB
-	// Oracle is the language model used for template generation and
-	// refinement.
-	Oracle llm.Oracle
-	// CostKind selects the cost metric (cardinality, plan cost, ...).
-	CostKind engine.CostKind
-	// Specs are the per-template specifications (one template is generated
-	// per spec).
-	Specs []spec.Spec
-	// Target is the cost distribution the generated workload must match.
-	Target *stats.TargetDistribution
-	// Seed drives all stochastic components.
-	Seed int64
-
-	// ProfileFraction sets the profiling budget as a fraction of the
-	// requested query count (§5.1; default 0.15).
-	ProfileFraction float64
-
-	// DisableRefine turns off Algorithm 2 (the "No-Refine-Prune" ablation).
-	DisableRefine bool
-	// NaiveSearch replaces BO with random search (the "Naive-Search"
-	// ablation).
-	NaiveSearch bool
-	// IndependentSampling disables LHS during profiling (ablation).
-	IndependentSampling bool
-
-	// GenOpts, RefineOpts, SearchOpts override component defaults.
-	GenOpts    generator.Options
-	RefineOpts refine.Options
-	SearchOpts search.Options
-
-	// Progress, when non-nil, receives the distance trajectory while the
-	// predicate search runs.
-	Progress func(elapsed time.Duration, distance float64)
-}
+type Config = pipeline.Config
 
 // ProgressPoint is one sample of the distance-over-time trajectory.
-type ProgressPoint struct {
-	Elapsed  time.Duration
-	Distance float64
-}
+type ProgressPoint = pipeline.ProgressPoint
 
 // Result is a completed workload generation.
-type Result struct {
-	// Workload is the selected N-query workload.
-	Workload []workload.Query
-	// Distance is the Wasserstein distance between the workload's costs and
-	// the target distribution (0 = exact match).
-	Distance float64
-	// Templates is the final template set (seeds + accepted refinements,
-	// after pruning).
-	Templates []*workload.TemplateState
-	// GenResults holds per-spec generation traces (Algorithm 1 attempts).
-	GenResults []*generator.Result
-	// RefineStats and SearchStats report component behaviour.
-	RefineStats refine.Stats
-	SearchStats search.Stats
-	// Trajectory is the recorded distance-over-time series.
-	Trajectory []ProgressPoint
-	// Elapsed is the wall-clock generation time.
-	Elapsed time.Duration
-	// DBCalls is the number of DBMS evaluations consumed.
-	DBCalls int64
-}
+type Result = pipeline.Result
 
-// Generate runs the full SQLBarber pipeline.
-func Generate(cfg Config) (*Result, error) {
-	if cfg.DB == nil || cfg.Oracle == nil || cfg.Target == nil {
-		return nil, fmt.Errorf("core: DB, Oracle, and Target are required")
-	}
-	if cfg.ProfileFraction <= 0 {
-		cfg.ProfileFraction = 0.15
-	}
-	start := time.Now()
-	startCalls := cfg.DB.ExplainCalls() + cfg.DB.ExecCalls()
-	res := &Result{}
+// StageTiming records how long one pipeline stage ran.
+type StageTiming = pipeline.StageTiming
 
-	// §4: customized SQL template generation with self-correction.
-	genOpts := cfg.GenOpts
-	if genOpts.Seed == 0 {
-		genOpts.Seed = cfg.Seed
-	}
-	gen := generator.New(cfg.DB, cfg.Oracle, genOpts)
-	genResults, err := gen.GenerateAll(cfg.Specs)
-	if err != nil {
-		return nil, err
-	}
-	res.GenResults = genResults
-	seeds := generator.ValidResults(genResults)
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("core: no valid templates were generated from %d specs", len(cfg.Specs))
-	}
-
-	// §5.1: template profiling via Latin Hypercube Sampling.
-	prof := &profiler.Profiler{
-		DB:                  cfg.DB,
-		Kind:                cfg.CostKind,
-		Rng:                 rand.New(rand.NewSource(cfg.Seed + 1)),
-		IndependentSampling: cfg.IndependentSampling,
-	}
-	perTemplate := int(cfg.ProfileFraction * float64(cfg.Target.Total()) / float64(len(seeds)))
-	if perTemplate < 4 {
-		perTemplate = 4
-	}
-	if perTemplate > 64 {
-		perTemplate = 64
-	}
-	var states []*workload.TemplateState
-	for _, gr := range genResults {
-		if !gr.Valid || gr.Template == nil {
-			continue
-		}
-		p, err := prof.Profile(gr.Template, perTemplate)
-		if err != nil {
-			// Template cannot be instantiated meaningfully; drop it.
-			continue
-		}
-		states = append(states, &workload.TemplateState{Profile: p, Spec: gr.Spec})
-	}
-	if len(states) == 0 {
-		return nil, fmt.Errorf("core: all generated templates failed profiling")
-	}
-
-	// §5.2 + §5.3 run as an outer loop: refine and prune templates, search
-	// predicate values, and — when residual gaps remain — refine again with
-	// the enriched profiles ("this process continues until the generated
-	// cost distribution adequately matches the target", §5.3).
-	searchOpts := cfg.SearchOpts
-	if searchOpts.Seed == 0 {
-		searchOpts.Seed = cfg.Seed + 2
-	}
-	searchOpts.Naive = searchOpts.Naive || cfg.NaiveSearch
-	ref := &refine.Refiner{Oracle: cfg.Oracle, Prof: prof, Opts: cfg.RefineOpts}
-
-	var queries []workload.Query
-	seenTemplates := map[int]bool{}
-	collectProfileQueries := func() {
-		// Profiling observations of newly added templates double as seed
-		// queries for the workload.
-		for _, st := range states {
-			id := st.Profile.Template.ID
-			if seenTemplates[id] {
-				continue
-			}
-			seenTemplates[id] = true
-			for _, o := range st.Profile.Obs {
-				queries = append(queries, workload.Query{SQL: o.SQL, Cost: o.Cost, TemplateID: id})
-			}
-		}
-	}
-
-	const maxRounds = 5
-	for round := 0; round < maxRounds; round++ {
-		if !cfg.DisableRefine {
-			var rstats refine.Stats
-			states, rstats, err = ref.Run(states, cfg.Target)
-			if err != nil {
-				return nil, err
-			}
-			res.RefineStats.Iterations += rstats.Iterations
-			res.RefineStats.Generated += rstats.Generated
-			res.RefineStats.Accepted += rstats.Accepted
-			res.RefineStats.ProfileFails += rstats.ProfileFails
-			states = refine.Prune(states, cfg.Target)
-		}
-		collectProfileQueries()
-
-		srch := &search.Searcher{DB: cfg.DB, Kind: cfg.CostKind, Opts: searchOpts}
-		srch.Progress = func(qs []workload.Query) {
-			sel := workload.SelectWorkload(qs, cfg.Target)
-			dist := workload.Distance(sel, cfg.Target)
-			pt := ProgressPoint{Elapsed: time.Since(start), Distance: dist}
-			res.Trajectory = append(res.Trajectory, pt)
-			if cfg.Progress != nil {
-				cfg.Progress(pt.Elapsed, pt.Distance)
-			}
-		}
-		var sstats search.Stats
-		queries, sstats = srch.Run(states, cfg.Target, queries)
-		res.SearchStats.Rounds += sstats.Rounds
-		res.SearchStats.Evaluations += sstats.Evaluations
-		res.SearchStats.SkippedIntervals += sstats.SkippedIntervals
-		res.SearchStats.BadCombinations += sstats.BadCombinations
-
-		sel := workload.SelectWorkload(queries, cfg.Target)
-		if workload.Distance(sel, cfg.Target) == 0 || cfg.DisableRefine {
-			break
-		}
-	}
-	res.Templates = states
-
-	// Final assembly: pick the per-interval quota from all generated
-	// queries and measure the achieved distance.
-	res.Workload = workload.SelectWorkload(queries, cfg.Target)
-	res.Distance = workload.Distance(res.Workload, cfg.Target)
-	res.Elapsed = time.Since(start)
-	res.DBCalls = cfg.DB.ExplainCalls() + cfg.DB.ExecCalls() - startCalls
-	res.Trajectory = append(res.Trajectory, ProgressPoint{Elapsed: res.Elapsed, Distance: res.Distance})
-	return res, nil
+// Generate runs the full SQLBarber pipeline: generate → profile →
+// refine/search → assemble. Cancelling ctx stops work at the next stage (or
+// intra-stage wave) boundary and returns a partial Result — Partial is set,
+// CancelledStage names the stage that observed the cancellation, and the
+// workload holds the best queries gathered before the cut.
+func Generate(ctx context.Context, cfg Config) (*Result, error) {
+	return pipeline.Run(ctx, cfg)
 }

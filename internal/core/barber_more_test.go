@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -20,7 +21,7 @@ func TestConfigValidation(t *testing.T) {
 		{DB: db, Oracle: oracle},         // no target
 	}
 	for i, cfg := range cases {
-		if _, err := Generate(cfg); err == nil {
+		if _, err := Generate(context.Background(), cfg); err == nil {
 			t.Errorf("config %d should be rejected", i)
 		}
 	}
@@ -36,7 +37,7 @@ func TestGenerateFailsWhenNoTemplates(t *testing.T) {
 		Target:   stats.Uniform(0, 100, 2, 4),
 		Seed:     1,
 	}
-	if _, err := Generate(cfg); err == nil {
+	if _, err := Generate(context.Background(), cfg); err == nil {
 		t.Fatal("no-valid-template case must error")
 	}
 }
@@ -60,7 +61,7 @@ func TestProgressCallbackInvoked(t *testing.T) {
 			lastElapsed = elapsed
 		},
 	}
-	res, err := Generate(cfg)
+	res, err := Generate(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestGenerateWithRowsProcessedCost(t *testing.T) {
 		Target:   stats.Uniform(0, 6000, 4, 40),
 		Seed:     9,
 	}
-	res, err := Generate(cfg)
+	res, err := Generate(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestGenerateWithRowsProcessedCost(t *testing.T) {
 	// Execution-based cost kinds must also be deterministic: replaying a
 	// query gives the same cost.
 	q := res.Workload[0]
-	again, err := db.Cost(q.SQL, engine.RowsProcessed)
+	again, err := db.Cost(context.Background(), q.SQL, engine.RowsProcessed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestGenerateWithRowsProcessedCost(t *testing.T) {
 func TestDeterministicAcrossRuns(t *testing.T) {
 	run := func() *Result {
 		db := engine.OpenTPCH(33, 0.05)
-		res, err := Generate(Config{
+		res, err := Generate(context.Background(), Config{
 			DB:       db,
 			Oracle:   llm.NewSim(llm.SimOptions{Seed: 33}),
 			CostKind: engine.Cardinality,
@@ -139,7 +140,7 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 func TestTemplatesSatisfySpecsEndToEnd(t *testing.T) {
 	db := engine.OpenTPCH(21, 0.05)
 	specs := testSpecs()
-	res, err := Generate(Config{
+	res, err := Generate(context.Background(), Config{
 		DB:       db,
 		Oracle:   llm.NewSim(llm.SimOptions{Seed: 21}),
 		CostKind: engine.Cardinality,
@@ -178,7 +179,7 @@ func TestGenerateParallelSearch(t *testing.T) {
 		Seed:     12,
 	}
 	cfg.SearchOpts.Parallelism = 4
-	res, err := Generate(cfg)
+	res, err := Generate(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"sqlbarber/internal/engine"
@@ -24,7 +25,7 @@ func TestGenerateEndToEndCardinality(t *testing.T) {
 	db := engine.OpenTPCH(7, 0.1)
 	oracle := llm.NewSim(llm.SimOptions{Seed: 7})
 	target := stats.Uniform(0, 3000, 6, 120)
-	res, err := Generate(Config{
+	res, err := Generate(context.Background(), Config{
 		DB:       db,
 		Oracle:   oracle,
 		CostKind: engine.Cardinality,
@@ -58,7 +59,7 @@ func TestGenerateEndToEndPlanCost(t *testing.T) {
 	db := engine.OpenIMDB(11, 0.2)
 	oracle := llm.NewSim(llm.SimOptions{Seed: 11})
 	target := stats.Normal(0, 500, 5, 100, 250, 120)
-	res, err := Generate(Config{
+	res, err := Generate(context.Background(), Config{
 		DB:       db,
 		Oracle:   oracle,
 		CostKind: engine.PlanCost,
@@ -97,7 +98,7 @@ func TestAblationVariantsRun(t *testing.T) {
 				Seed:     3,
 			}
 			tc.mod(&cfg)
-			res, err := Generate(cfg)
+			res, err := Generate(context.Background(), cfg)
 			if err != nil {
 				t.Fatalf("generate: %v", err)
 			}

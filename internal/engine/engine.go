@@ -5,6 +5,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"regexp"
@@ -63,14 +64,21 @@ type ExplainResult struct {
 // underlying data is immutable after load.
 type DB struct {
 	store *storage.Database
+	plans *planCache
 
 	explainCount  atomic.Int64
 	execCount     atomic.Int64
 	validateCount atomic.Int64
 }
 
+// planCacheSize bounds the ad-hoc plan LRU; templates go through Prepare
+// instead, so this only needs to absorb repeated validation/re-scoring SQL.
+const planCacheSize = 256
+
 // Open wraps a loaded storage database.
-func Open(store *storage.Database) *DB { return &DB{store: store} }
+func Open(store *storage.Database) *DB {
+	return &DB{store: store, plans: newPlanCache(planCacheSize)}
+}
 
 // OpenTPCH opens the TPC-H-shaped evaluation database.
 func OpenTPCH(seed int64, sf float64) *DB { return Open(datagen.TPCH(seed, sf)) }
@@ -130,12 +138,24 @@ func (db *DB) ResetCounters() {
 	db.validateCount.Store(0)
 }
 
+// planSQL parses and plans ad-hoc SQL, memoizing successful plans in a
+// bounded LRU. Plans are immutable after Build and exec.Run keeps all
+// per-run state in the executor, so one cached *plan.Query may serve
+// concurrent Explain and Execute calls.
 func (db *DB) planSQL(sql string) (*plan.Query, error) {
+	if q, ok := db.plans.get(sql); ok {
+		return q, nil
+	}
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return plan.Build(db.store.Schema, stmt)
+	q, err := plan.Build(db.store.Schema, stmt)
+	if err != nil {
+		return nil, err
+	}
+	db.plans.put(sql, q)
+	return q, nil
 }
 
 // Explain parses and plans the query, returning optimizer estimates without
@@ -165,8 +185,11 @@ func (db *DB) Execute(sql string) (*exec.Result, error) {
 
 // Cost returns the query's cost under the requested metric. Cardinality and
 // PlanCost come from the optimizer (EXPLAIN); ExecTimeMS actually executes
-// the query.
-func (db *DB) Cost(sql string, kind CostKind) (float64, error) {
+// the query. A cancelled context aborts before any evaluation is counted.
+func (db *DB) Cost(ctx context.Context, sql string, kind CostKind) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	switch kind {
 	case Cardinality, PlanCost:
 		res, err := db.Explain(sql)
@@ -185,6 +208,37 @@ func (db *DB) Cost(sql string, kind CostKind) (float64, error) {
 		return float64(time.Since(start).Microseconds()) / 1000, nil
 	case RowsProcessed:
 		res, err := db.Execute(sql)
+		if err != nil {
+			return 0, err
+		}
+		return float64(res.RowsTouched), nil
+	}
+	return 0, fmt.Errorf("engine: unknown cost kind %v", kind)
+}
+
+// costOfPlan evaluates an already-planned query under the requested metric,
+// incrementing the same evaluation counters Cost does: one explain per
+// optimizer-estimated probe, one execute per measured probe. This is the
+// shared tail of DB.Cost and Prepared.Cost, guaranteeing identical
+// DBMS-evaluation accounting for prepared and re-parsed probes.
+func (db *DB) costOfPlan(q *plan.Query, kind CostKind) (float64, error) {
+	switch kind {
+	case Cardinality:
+		db.explainCount.Add(1)
+		return q.EstimatedRows(), nil
+	case PlanCost:
+		db.explainCount.Add(1)
+		return q.TotalCost(), nil
+	case ExecTimeMS:
+		db.execCount.Add(1)
+		start := time.Now()
+		if _, err := exec.Run(db.store, q); err != nil {
+			return 0, err
+		}
+		return float64(time.Since(start).Microseconds()) / 1000, nil
+	case RowsProcessed:
+		db.execCount.Add(1)
+		res, err := exec.Run(db.store, q)
 		if err != nil {
 			return 0, err
 		}

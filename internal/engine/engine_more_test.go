@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -8,21 +9,21 @@ import (
 
 func TestRowsProcessedCostKind(t *testing.T) {
 	db := testDB(t)
-	small, err := db.Cost("SELECT * FROM region", RowsProcessed)
+	small, err := db.Cost(context.Background(), "SELECT * FROM region", RowsProcessed)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if small != 5 {
 		t.Fatalf("region scan rows processed = %v, want 5", small)
 	}
-	big, err := db.Cost("SELECT * FROM lineitem", RowsProcessed)
+	big, err := db.Cost(context.Background(), "SELECT * FROM lineitem", RowsProcessed)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if big != 3000 {
 		t.Fatalf("lineitem scan rows processed = %v, want 3000", big)
 	}
-	joined, err := db.Cost("SELECT * FROM lineitem AS l JOIN orders AS o ON l.l_orderkey = o.o_orderkey", RowsProcessed)
+	joined, err := db.Cost(context.Background(), "SELECT * FROM lineitem AS l JOIN orders AS o ON l.l_orderkey = o.o_orderkey", RowsProcessed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,11 +37,11 @@ func TestRowsProcessedMonotoneInSelectivity(t *testing.T) {
 	db := testDB(t)
 	// Scans touch all rows regardless of filters; a join's processed rows
 	// shrink as the probe side shrinks.
-	narrow, err := db.Cost("SELECT * FROM lineitem AS l JOIN orders AS o ON l.l_orderkey = o.o_orderkey WHERE o.o_orderkey <= 10", RowsProcessed)
+	narrow, err := db.Cost(context.Background(), "SELECT * FROM lineitem AS l JOIN orders AS o ON l.l_orderkey = o.o_orderkey WHERE o.o_orderkey <= 10", RowsProcessed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wide, err := db.Cost("SELECT * FROM lineitem AS l JOIN orders AS o ON l.l_orderkey = o.o_orderkey WHERE o.o_orderkey <= 700", RowsProcessed)
+	wide, err := db.Cost(context.Background(), "SELECT * FROM lineitem AS l JOIN orders AS o ON l.l_orderkey = o.o_orderkey WHERE o.o_orderkey <= 700", RowsProcessed)
 	if err != nil {
 		t.Fatal(err)
 	}

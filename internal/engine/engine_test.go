@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -177,18 +178,18 @@ func TestValidateSyntax(t *testing.T) {
 func TestCostKinds(t *testing.T) {
 	db := testDB(t)
 	sql := "SELECT COUNT(*) FROM orders WHERE o_totalprice > 1000"
-	card, err := db.Cost(sql, Cardinality)
+	card, err := db.Cost(context.Background(), sql, Cardinality)
 	if err != nil {
 		t.Fatalf("cardinality: %v", err)
 	}
 	if card != 1 {
 		t.Fatalf("aggregate cardinality %v, want 1", card)
 	}
-	cost, err := db.Cost(sql, PlanCost)
+	cost, err := db.Cost(context.Background(), sql, PlanCost)
 	if err != nil || cost <= 0 {
 		t.Fatalf("plan cost %v err %v", cost, err)
 	}
-	ms, err := db.Cost(sql, ExecTimeMS)
+	ms, err := db.Cost(context.Background(), sql, ExecTimeMS)
 	if err != nil || ms < 0 {
 		t.Fatalf("exec time %v err %v", ms, err)
 	}

@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"sqlbarber/internal/plan"
+	"sqlbarber/internal/sqlparser"
+	"sqlbarber/internal/sqltypes"
+)
+
+// Prepared is a template whose SQL has been lexed, parsed, and
+// placeholder-bound exactly once. Each {name} placeholder in the template is
+// replaced by a mutable literal slot inside the retained AST; Cost assigns
+// the probe values into those slots and re-plans, skipping the per-probe
+// lex/parse that dominates profiling and BO search when costs are
+// optimizer-estimated. Safe for concurrent use (slot assignment + plan is
+// serialized by an internal mutex; independent Prepared values do not
+// contend).
+type Prepared struct {
+	db   *DB
+	text string
+
+	mu    sync.Mutex
+	stmt  *sqlparser.SelectStmt
+	slots map[string][]*sqlparser.Literal
+	names []string // sorted placeholder names, for deterministic errors
+}
+
+// Prepare parses the template SQL once and binds every placeholder to a
+// mutable literal slot. The rewritten statement is validated by planning it
+// with neutral zero values, so defects surface at prepare time rather than
+// on the first probe. Prepare itself performs no DBMS evaluation — the
+// explain/execute counters are untouched, preserving call parity with the
+// re-parse path.
+func (db *DB) Prepare(templateSQL string) (*Prepared, error) {
+	stmt, err := sqlparser.Parse(templateSQL)
+	if err != nil {
+		return nil, fmt.Errorf("engine: prepare: %w", err)
+	}
+	p := &Prepared{
+		db:    db,
+		text:  templateSQL,
+		stmt:  stmt,
+		slots: map[string][]*sqlparser.Literal{},
+	}
+	stmt.RewriteExprs(func(e sqlparser.Expr) sqlparser.Expr {
+		ph, ok := e.(*sqlparser.Placeholder)
+		if !ok {
+			return e
+		}
+		lit := &sqlparser.Literal{Value: sqltypes.NewInt(0)}
+		p.slots[ph.Name] = append(p.slots[ph.Name], lit)
+		return lit
+	})
+	for name := range p.slots {
+		p.names = append(p.names, name)
+	}
+	sort.Strings(p.names)
+	if _, err := plan.Build(db.store.Schema, stmt); err != nil {
+		return nil, fmt.Errorf("engine: prepare: %w", err)
+	}
+	return p, nil
+}
+
+// SQL returns the original template text.
+func (p *Prepared) SQL() string { return p.text }
+
+// Placeholders returns the sorted placeholder names the template declares.
+func (p *Prepared) Placeholders() []string {
+	out := make([]string, len(p.names))
+	copy(out, p.names)
+	return out
+}
+
+// normalizeLiteral mirrors the lexer's numeric tokenization so a prepared
+// probe sees exactly the value a re-parse of the rendered SQL would: a float
+// whose shortest rendering has no '.' or exponent lexes back as an integer
+// literal, so it is stored as one here too.
+func normalizeLiteral(v sqltypes.Value) sqltypes.Value {
+	if v.Kind() != sqltypes.KindFloat {
+		return v
+	}
+	s := strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return sqltypes.NewInt(n)
+	}
+	return v
+}
+
+// Cost assigns the probe values into the template's literal slots, re-plans
+// the retained AST, and returns the query cost under the requested metric.
+// It increments the same DBMS-evaluation counters as DB.Cost, so a
+// prepared-template run reports identical evaluation counts to a re-parse
+// run. Plans are value-dependent (selectivity estimates read the bound
+// literals), so planning happens per probe; only lex/parse is skipped.
+func (p *Prepared) Cost(ctx context.Context, vals map[string]sqltypes.Value, kind CostKind) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var missing []string
+	for _, name := range p.names {
+		v, ok := vals[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		nv := normalizeLiteral(v)
+		for _, lit := range p.slots[name] {
+			lit.Value = nv
+		}
+	}
+	if len(missing) > 0 {
+		return 0, fmt.Errorf("engine: prepared cost: missing values for placeholders %v", missing)
+	}
+	q, err := plan.Build(p.db.store.Schema, p.stmt)
+	if err != nil {
+		return 0, fmt.Errorf("engine: prepared cost: %w", err)
+	}
+	return p.db.costOfPlan(q, kind)
+}
+
+// planCache is a bounded LRU of parsed-and-planned ad-hoc SQL. It caps both
+// entry count and memory: templates dominate probe traffic through Prepared,
+// while repeated ad-hoc statements (validation probes, workload re-scoring)
+// hit the cache instead of re-lexing.
+type planCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List
+	m   map[string]*list.Element
+}
+
+type planEntry struct {
+	sql string
+	q   *plan.Query
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{max: max, ll: list.New(), m: make(map[string]*list.Element, max)}
+}
+
+func (c *planCache) get(sql string) (*plan.Query, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[sql]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*planEntry).q, true
+}
+
+func (c *planCache) put(sql string, q *plan.Query) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[sql]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*planEntry).q = q
+		return
+	}
+	c.m[sql] = c.ll.PushFront(&planEntry{sql: sql, q: q})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*planEntry).sql)
+	}
+}
+
+// len reports the number of cached plans (used by tests).
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,7 +1,7 @@
 package engine_test
 
 import (
-	"math/rand"
+	"context"
 	"testing"
 
 	"sqlbarber/internal/engine"
@@ -42,9 +42,9 @@ func TestGeneratedQueriesExecuteSweep(t *testing.T) {
 		for seed := int64(1); seed <= 3; seed++ {
 			db := ds.open(seed)
 			gen := generator.New(db, llm.NewSim(llm.Perfect(seed)), generator.Options{Seed: seed})
-			prof := &profiler.Profiler{DB: db, Kind: engine.Cardinality, Rng: rand.New(rand.NewSource(seed))}
+			prof := &profiler.Profiler{DB: db, Kind: engine.Cardinality, Seed: seed}
 			for si, s := range specShapes {
-				res, err := gen.Generate(s)
+				res, err := gen.Generate(context.Background(), s)
 				if err != nil {
 					t.Fatalf("%s seed %d spec %d: generate: %v", ds.name, seed, si, err)
 				}
@@ -52,7 +52,7 @@ func TestGeneratedQueriesExecuteSweep(t *testing.T) {
 					t.Fatalf("%s seed %d spec %d: perfect oracle produced invalid template:\n%s",
 						ds.name, seed, si, res.Template.SQL())
 				}
-				p, err := prof.Profile(res.Template, 6)
+				p, err := prof.Profile(context.Background(), res.Template, 6)
 				if err != nil {
 					t.Fatalf("%s seed %d spec %d: profile: %v\n%s", ds.name, seed, si, err, res.Template.SQL())
 				}

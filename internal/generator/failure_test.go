@@ -1,6 +1,7 @@
 package generator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -29,46 +30,46 @@ func (f *flakyOracle) tick() error {
 	return nil
 }
 
-func (f *flakyOracle) GenerateTemplate(req llm.GenerateRequest) (string, error) {
+func (f *flakyOracle) GenerateTemplate(ctx context.Context, req llm.GenerateRequest) (string, error) {
 	if err := f.tick(); err != nil {
 		return "", err
 	}
-	return f.inner.GenerateTemplate(req)
+	return f.inner.GenerateTemplate(ctx, req)
 }
 
-func (f *flakyOracle) ValidateSemantics(sql string, s spec.Spec) (bool, []string, error) {
+func (f *flakyOracle) ValidateSemantics(ctx context.Context, sql string, s spec.Spec) (bool, []string, error) {
 	if err := f.tick(); err != nil {
 		return false, nil, err
 	}
-	return f.inner.ValidateSemantics(sql, s)
+	return f.inner.ValidateSemantics(ctx, sql, s)
 }
 
-func (f *flakyOracle) FixSemantics(sql string, s spec.Spec, v []string, req llm.GenerateRequest) (string, error) {
+func (f *flakyOracle) FixSemantics(ctx context.Context, sql string, s spec.Spec, v []string, req llm.GenerateRequest) (string, error) {
 	if err := f.tick(); err != nil {
 		return "", err
 	}
-	return f.inner.FixSemantics(sql, s, v, req)
+	return f.inner.FixSemantics(ctx, sql, s, v, req)
 }
 
-func (f *flakyOracle) FixExecution(sql string, dbmsErr string, req llm.GenerateRequest) (string, error) {
+func (f *flakyOracle) FixExecution(ctx context.Context, sql string, dbmsErr string, req llm.GenerateRequest) (string, error) {
 	if err := f.tick(); err != nil {
 		return "", err
 	}
-	return f.inner.FixExecution(sql, dbmsErr, req)
+	return f.inner.FixExecution(ctx, sql, dbmsErr, req)
 }
 
-func (f *flakyOracle) RefineTemplate(req llm.RefineRequest) (string, error) {
+func (f *flakyOracle) RefineTemplate(ctx context.Context, req llm.RefineRequest) (string, error) {
 	if err := f.tick(); err != nil {
 		return "", err
 	}
-	return f.inner.RefineTemplate(req)
+	return f.inner.RefineTemplate(ctx, req)
 }
 
 func TestGeneratorSurfacesOracleErrors(t *testing.T) {
 	db := engine.OpenTPCH(1, 0.05)
 	oracle := &flakyOracle{inner: llm.NewSim(llm.SimOptions{Seed: 1}), n: 1} // fail immediately
 	g := New(db, oracle, Options{Seed: 1})
-	_, err := g.Generate(spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(1)})
+	_, err := g.Generate(context.Background(), spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(1)})
 	if !errors.Is(err, errFlaky) {
 		t.Fatalf("oracle failure must propagate, got %v", err)
 	}
@@ -83,7 +84,7 @@ func TestGeneratorErrorsMidLoop(t *testing.T) {
 	for _, n := range []int{2, 3, 4} {
 		oracle := &flakyOracle{inner: llm.NewSim(llm.SimOptions{Seed: 2}), n: n}
 		g := New(db, oracle, Options{Seed: 2})
-		_, err := g.Generate(spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)})
+		_, err := g.Generate(context.Background(), spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)})
 		if err != nil && !errors.Is(err, errFlaky) {
 			t.Fatalf("n=%d: unexpected error type: %v", n, err)
 		}
@@ -98,7 +99,7 @@ func TestGenerateAllStopsOnOracleError(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		specs = append(specs, spec.Spec{NumJoins: spec.Int(0), NumPredicates: spec.Int(1)})
 	}
-	results, err := g.GenerateAll(specs)
+	results, err := g.GenerateAll(context.Background(), specs)
 	if err == nil {
 		t.Fatal("GenerateAll must stop on oracle errors")
 	}
@@ -115,7 +116,7 @@ func TestTranscriptRecordsCalls(t *testing.T) {
 	var sb strings.Builder
 	sim.SetTranscript(&sb)
 	g := New(db, sim, Options{Seed: 4})
-	if _, err := g.Generate(spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(1)}); err != nil {
+	if _, err := g.Generate(context.Background(), spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(1)}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

@@ -7,14 +7,17 @@
 package generator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"sqlbarber/internal/analyzer"
 	"sqlbarber/internal/catalog"
 	"sqlbarber/internal/engine"
 	"sqlbarber/internal/llm"
+	"sqlbarber/internal/prand"
 	"sqlbarber/internal/spec"
 	"sqlbarber/internal/sqltemplate"
 )
@@ -38,6 +41,11 @@ type Options struct {
 	// original judge-then-DBMS flow. Benchmarks use it to measure how many
 	// LLM and DBMS calls static analysis saves.
 	DisableStaticAnalysis bool
+	// Parallel is the number of worker goroutines GenerateAll fans
+	// specifications across (default 1). Results are byte-identical for any
+	// value: every specification owns a random stream and an oracle fork
+	// derived from its index, and results merge in specification order.
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {
@@ -46,6 +54,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxPathCandidates <= 0 {
 		o.MaxPathCandidates = 64
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = 1
 	}
 	return o
 }
@@ -139,7 +150,7 @@ var ErrNoJoinPath = errors.New("generator: no join path satisfies the requested 
 // samplePath picks a random join path honouring the spec's join count
 // (§4 Step 2). Randomness diversifies join patterns across attempts and
 // keeps each prompt small (only the sampled tables are summarized).
-func (g *Generator) samplePath(s spec.Spec) (catalog.JoinPath, error) {
+func (g *Generator) samplePath(rng *rand.Rand, s spec.Spec) (catalog.JoinPath, error) {
 	numJoins := 0
 	switch {
 	case s.NumJoins != nil:
@@ -147,7 +158,7 @@ func (g *Generator) samplePath(s spec.Spec) (catalog.JoinPath, error) {
 	case s.NumTables != nil:
 		numJoins = *s.NumTables - 1
 	default:
-		numJoins = g.rng.Intn(3)
+		numJoins = rng.Intn(3)
 	}
 	if numJoins < 0 {
 		numJoins = 0
@@ -170,7 +181,7 @@ func (g *Generator) samplePath(s spec.Spec) (catalog.JoinPath, error) {
 	if len(paths) == 0 {
 		return catalog.JoinPath{}, fmt.Errorf("%w: %d joins", ErrNoJoinPath, numJoins)
 	}
-	return paths[g.rng.Intn(len(paths))], nil
+	return paths[rng.Intn(len(paths))], nil
 }
 
 // mergeCodes unions sorted code lists, preserving first-seen order.
@@ -188,14 +199,23 @@ func mergeCodes(base []string, extra ...string) []string {
 
 // Generate runs the full §4 workflow for one specification: sample a join
 // path, prompt the LLM, then check and rewrite per Algorithm 1 with the
-// static-analysis tier in front of the expensive checks.
-func (g *Generator) Generate(s spec.Spec) (*Result, error) {
-	path, err := g.samplePath(s)
+// static-analysis tier in front of the expensive checks. It uses the
+// generator's own random stream and oracle; parallel fan-out goes through
+// GenerateAll, which derives per-specification streams instead.
+func (g *Generator) Generate(ctx context.Context, s spec.Spec) (*Result, error) {
+	return g.generateOne(ctx, s, g.rng, g.oracle, &g.stats)
+}
+
+// generateOne is the Algorithm 1 loop parameterized by the random stream,
+// oracle, and stat sink of one task, so parallel tasks never share mutable
+// state.
+func (g *Generator) generateOne(ctx context.Context, s spec.Spec, rng *rand.Rand, oracle llm.Oracle, stats *Stats) (*Result, error) {
+	path, err := g.samplePath(rng, s)
 	if err != nil {
 		return nil, err
 	}
 	req := llm.GenerateRequest{Schema: g.db.Schema(), JoinPath: path, Spec: s}
-	sql, err := g.oracle.GenerateTemplate(req)
+	sql, err := oracle.GenerateTemplate(ctx, req)
 	if err != nil {
 		return nil, fmt.Errorf("generator: template generation failed: %w", err)
 	}
@@ -207,7 +227,7 @@ func (g *Generator) Generate(s spec.Spec) (*Result, error) {
 	// validated, so issuing them would waste LLM budget (the pre-analyzer
 	// implementation had exactly that off-by-one).
 	for attempt := 0; attempt <= g.opts.MaxRewrites; attempt++ {
-		g.stats.Attempts++
+		stats.Attempts++
 		lastAttempt := attempt == g.opts.MaxRewrites
 		trace := AttemptTrace{Attempt: attempt, Template: sql}
 
@@ -232,18 +252,18 @@ func (g *Generator) Generate(s spec.Spec) (*Result, error) {
 			satisfied = false
 			violations = analyzer.Hints(specDiags)
 			trace.StaticSpec = true
-			g.stats.StaticSpecCatches++
+			stats.StaticSpecCatches++
 		case useStatic && parseBroken:
 			satisfied = false
 			violations = []string{"template is not valid SQL: " + execDiags[0].Msg}
 			trace.StaticSpec = true
-			g.stats.StaticSpecCatches++
+			stats.StaticSpecCatches++
 		default:
-			satisfied, violations, err = g.oracle.ValidateSemantics(sql, s)
+			satisfied, violations, err = oracle.ValidateSemantics(ctx, sql, s)
 			if err != nil {
 				return nil, fmt.Errorf("generator: semantic validation failed: %w", err)
 			}
-			g.stats.JudgeCalls++
+			stats.JudgeCalls++
 			if !satisfied {
 				for _, d := range analyzer.FromViolations(violations) {
 					trace.Codes = mergeCodes(trace.Codes, string(d.Code))
@@ -256,11 +276,11 @@ func (g *Generator) Generate(s spec.Spec) (*Result, error) {
 		// FixExecution is the right repair there, and issuing both would
 		// double-spend. Also skip on the final attempt (nothing validates it).
 		if !satisfied && !lastAttempt && !(useStatic && parseBroken) {
-			fixed, err = g.oracle.FixSemantics(sql, s, violations, req)
+			fixed, err = oracle.FixSemantics(ctx, sql, s, violations, req)
 			if err != nil {
 				return nil, fmt.Errorf("generator: semantic fix failed: %w", err)
 			}
-			g.stats.FixSemanticsCalls++
+			stats.FixSemanticsCalls++
 		}
 
 		// Phase 2: database executability. Statically proven binder/type/
@@ -274,10 +294,10 @@ func (g *Generator) Generate(s spec.Spec) (*Result, error) {
 				dbmsErr += " (fix: " + fix + ")"
 			}
 			trace.StaticExec = true
-			g.stats.StaticExecCatches++
+			stats.StaticExecCatches++
 		} else {
 			executable, dbmsErr = g.db.ValidateSyntax(sql)
-			g.stats.SyntaxChecks++
+			stats.SyntaxChecks++
 			if !executable {
 				trace.Codes = mergeCodes(trace.Codes, string(analyzer.FromDBMSError(dbmsErr).Code))
 			}
@@ -285,11 +305,11 @@ func (g *Generator) Generate(s spec.Spec) (*Result, error) {
 		trace.SyntaxOK = executable
 		trace.DBMSError = dbmsErr
 		if !executable && !lastAttempt {
-			fixed2, err := g.oracle.FixExecution(fixed, dbmsErr, req)
+			fixed2, err := oracle.FixExecution(ctx, fixed, dbmsErr, req)
 			if err != nil {
 				return nil, fmt.Errorf("generator: execution fix failed: %w", err)
 			}
-			g.stats.FixExecutionCalls++
+			stats.FixExecutionCalls++
 			fixed = fixed2
 		}
 
@@ -320,22 +340,87 @@ func (g *Generator) Generate(s spec.Spec) (*Result, error) {
 // GenerateAll generates one template per specification, skipping
 // specifications that cannot be satisfied (no join path) and templates that
 // stayed invalid after the rewrite budget.
-func (g *Generator) GenerateAll(specs []spec.Spec) ([]*Result, error) {
-	var out []*Result
-	for i, s := range specs {
-		res, err := g.Generate(s)
-		if errors.Is(err, ErrNoJoinPath) {
-			continue
+//
+// Specifications fan out across Options.Parallel workers, and the output is
+// byte-identical for every worker count: specification i always draws from
+// the random stream Mix(Seed, StageGenerate, i) and from an oracle fork with
+// stream i, results merge in specification order, and on error the merged
+// prefix matches what a sequential run would have produced before stopping.
+func (g *Generator) GenerateAll(ctx context.Context, specs []spec.Spec) ([]*Result, error) {
+	results := make([]*Result, len(specs))
+	errs := make([]error, len(specs))
+	taskStats := make([]Stats, len(specs))
+
+	oracleFor := func(i int) llm.Oracle {
+		if f, ok := g.oracle.(llm.Forkable); ok {
+			return f.Fork(int64(i))
 		}
-		if err != nil {
-			return out, err
-		}
-		if res.Template != nil {
-			res.Template.ID = i + 1
-		}
-		out = append(out, res)
+		return g.oracle
 	}
-	return out, nil
+	run := func(i int) {
+		rng := prand.New(g.opts.Seed, prand.StageGenerate, int64(i))
+		results[i], errs[i] = g.generateOne(ctx, specs[i], rng, oracleFor(i), &taskStats[i])
+	}
+
+	workers := g.opts.Parallel
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i := range specs {
+			run(i)
+			if errs[i] != nil && !errors.Is(errs[i], ErrNoJoinPath) {
+				break // sequential fast path: stop like the merge below would
+			}
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					run(i)
+				}
+			}()
+		}
+		for i := range specs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	// Ordered merge: identical to the sequential loop regardless of which
+	// goroutine finished first.
+	var out []*Result
+	var firstErr error
+	for i := range specs {
+		ts := taskStats[i]
+		g.stats.Attempts += ts.Attempts
+		g.stats.JudgeCalls += ts.JudgeCalls
+		g.stats.SyntaxChecks += ts.SyntaxChecks
+		g.stats.FixSemanticsCalls += ts.FixSemanticsCalls
+		g.stats.FixExecutionCalls += ts.FixExecutionCalls
+		g.stats.StaticSpecCatches += ts.StaticSpecCatches
+		g.stats.StaticExecCatches += ts.StaticExecCatches
+		if errs[i] != nil {
+			if errors.Is(errs[i], ErrNoJoinPath) {
+				continue
+			}
+			firstErr = errs[i]
+			break
+		}
+		if results[i] == nil {
+			continue // never ran: sequential fast path stopped earlier
+		}
+		if results[i].Template != nil {
+			results[i].Template.ID = i + 1
+		}
+		out = append(out, results[i])
+	}
+	return out, firstErr
 }
 
 // ValidResults filters results to templates that passed both checks.

@@ -1,7 +1,9 @@
 package generator
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"testing"
 
 	"sqlbarber/internal/engine"
@@ -13,7 +15,7 @@ func TestGenerateWithPerfectOracle(t *testing.T) {
 	db := engine.OpenTPCH(1, 0.05)
 	g := New(db, llm.NewSim(llm.Perfect(1)), Options{Seed: 1})
 	s := spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)}
-	res, err := g.Generate(s)
+	res, err := g.Generate(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +45,7 @@ func TestGenerateSelfCorrectionConverges(t *testing.T) {
 	}
 	valid := 0
 	for _, s := range specs {
-		res, err := g.Generate(s)
+		res, err := g.Generate(context.Background(), s)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,7 +65,7 @@ func TestGenerateSelfCorrectionConverges(t *testing.T) {
 func TestGenerateTraceRecordsAttempts(t *testing.T) {
 	db := engine.OpenTPCH(3, 0.05)
 	g := New(db, llm.NewSim(llm.SimOptions{Seed: 3, SyntaxErrorRate: 0.95, SpecErrorRate: 0.95, FixSuccessRate: 0.5}), Options{Seed: 3})
-	res, err := g.Generate(spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)})
+	res, err := g.Generate(context.Background(), spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +88,7 @@ func TestGenerateTraceRecordsAttempts(t *testing.T) {
 func TestGenerateNoJoinPath(t *testing.T) {
 	db := engine.OpenTPCH(1, 0.05)
 	g := New(db, llm.NewSim(llm.Perfect(1)), Options{Seed: 1})
-	_, err := g.Generate(spec.Spec{NumJoins: spec.Int(25)})
+	_, err := g.Generate(context.Background(), spec.Spec{NumJoins: spec.Int(25)})
 	if !errors.Is(err, ErrNoJoinPath) {
 		t.Fatalf("want ErrNoJoinPath, got %v", err)
 	}
@@ -100,7 +102,7 @@ func TestGenerateAllSkipsImpossibleSpecs(t *testing.T) {
 		{NumJoins: spec.Int(25)}, // impossible
 		{NumJoins: spec.Int(1), NumPredicates: spec.Int(1)},
 	}
-	results, err := g.GenerateAll(specs)
+	results, err := g.GenerateAll(context.Background(), specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,11 +121,59 @@ func TestGenerateAllSkipsImpossibleSpecs(t *testing.T) {
 func TestSamplePathHonorsTableCount(t *testing.T) {
 	db := engine.OpenTPCH(5, 0.05)
 	g := New(db, llm.NewSim(llm.Perfect(5)), Options{Seed: 5})
-	res, err := g.Generate(spec.Spec{NumTables: spec.Int(3), NumJoins: spec.Int(2), NumPredicates: spec.Int(1)})
+	res, err := g.Generate(context.Background(), spec.Spec{NumTables: spec.Int(3), NumJoins: spec.Int(2), NumPredicates: spec.Int(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Path.Tables) != 3 {
 		t.Fatalf("path tables = %v", res.Path.Tables)
+	}
+}
+
+// TestGenerateAllParallelByteIdentical verifies the deterministic-parallelism
+// contract at the generator layer: any worker count produces identical
+// results (template text, IDs, traces, validity) and identical stats,
+// because every specification owns a stream derived from its index.
+func TestGenerateAllParallelByteIdentical(t *testing.T) {
+	specs := []spec.Spec{
+		{NumJoins: spec.Int(0), NumPredicates: spec.Int(1)},
+		{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)},
+		{NumJoins: spec.Int(1), NumPredicates: spec.Int(1), GroupBy: spec.Bool(true)},
+		{NumJoins: spec.Int(2), NumPredicates: spec.Int(2)},
+		{NumJoins: spec.Int(0), NumPredicates: spec.Int(2)},
+		{NumJoins: spec.Int(1), NumPredicates: spec.Int(3)},
+	}
+	run := func(parallel int) ([]string, Stats) {
+		db := engine.OpenTPCH(33, 0.05)
+		oracle := llm.NewSim(llm.SimOptions{Seed: 33}) // default hallucination rates
+		g := New(db, oracle, Options{Seed: 33, Parallel: parallel})
+		results, err := g.GenerateAll(context.Background(), specs)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		var sigs []string
+		for _, r := range results {
+			sig := fmt.Sprintf("valid=%v attempts=%d", r.Valid, len(r.Trace))
+			if r.Template != nil {
+				sig += fmt.Sprintf(" id=%d sql=%s", r.Template.ID, r.Template.Text)
+			}
+			sigs = append(sigs, sig)
+		}
+		return sigs, g.Stats()
+	}
+	base, baseStats := run(1)
+	for _, p := range []int{2, 8} {
+		got, gotStats := run(p)
+		if len(got) != len(base) {
+			t.Fatalf("parallel=%d: %d results, want %d", p, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("parallel=%d result %d differs:\n%s\nvs sequential:\n%s", p, i, got[i], base[i])
+			}
+		}
+		if gotStats != baseStats {
+			t.Fatalf("parallel=%d stats differ: %+v vs %+v", p, gotStats, baseStats)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package generator
 
 import (
+	"context"
 	"testing"
 
 	"sqlbarber/internal/engine"
@@ -16,24 +17,24 @@ type countingOracle struct {
 	generate, judge, fixSem, fixExec int
 }
 
-func (c *countingOracle) GenerateTemplate(req llm.GenerateRequest) (string, error) {
+func (c *countingOracle) GenerateTemplate(ctx context.Context, req llm.GenerateRequest) (string, error) {
 	c.generate++
-	return c.Oracle.GenerateTemplate(req)
+	return c.Oracle.GenerateTemplate(ctx, req)
 }
 
-func (c *countingOracle) ValidateSemantics(sql string, s spec.Spec) (bool, []string, error) {
+func (c *countingOracle) ValidateSemantics(ctx context.Context, sql string, s spec.Spec) (bool, []string, error) {
 	c.judge++
-	return c.Oracle.ValidateSemantics(sql, s)
+	return c.Oracle.ValidateSemantics(ctx, sql, s)
 }
 
-func (c *countingOracle) FixSemantics(sql string, s spec.Spec, violations []string, req llm.GenerateRequest) (string, error) {
+func (c *countingOracle) FixSemantics(ctx context.Context, sql string, s spec.Spec, violations []string, req llm.GenerateRequest) (string, error) {
 	c.fixSem++
-	return c.Oracle.FixSemantics(sql, s, violations, req)
+	return c.Oracle.FixSemantics(ctx, sql, s, violations, req)
 }
 
-func (c *countingOracle) FixExecution(sql string, dbmsError string, req llm.GenerateRequest) (string, error) {
+func (c *countingOracle) FixExecution(ctx context.Context, sql string, dbmsError string, req llm.GenerateRequest) (string, error) {
 	c.fixExec++
-	return c.Oracle.FixExecution(sql, dbmsError, req)
+	return c.Oracle.FixExecution(ctx, sql, dbmsError, req)
 }
 
 // hallucinationSpecs is a small workload mixing structural requirements.
@@ -59,7 +60,7 @@ func TestStaticTierCatchesHallucinations(t *testing.T) {
 		g := New(db, oracle, Options{Seed: 21, MaxRewrites: 8, DisableStaticAnalysis: disable})
 		valid := 0
 		for _, s := range hallucinationSpecs() {
-			res, err := g.Generate(s)
+			res, err := g.Generate(context.Background(), s)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -117,7 +118,7 @@ func TestStaticTierCatchesHallucinations(t *testing.T) {
 func TestStaticCatchesRecordDiagnostics(t *testing.T) {
 	db := engine.OpenTPCH(9, 0.05)
 	g := New(db, llm.NewSim(llm.SimOptions{Seed: 9, SyntaxErrorRate: 1, SpecErrorRate: 0}), Options{Seed: 9, MaxRewrites: 4})
-	res, err := g.Generate(spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)})
+	res, err := g.Generate(context.Background(), spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestPerfectOracleSkipsNothing(t *testing.T) {
 	db := engine.OpenTPCH(1, 0.05)
 	oracle := &countingOracle{Oracle: llm.NewSim(llm.Perfect(1))}
 	g := New(db, oracle, Options{Seed: 1})
-	res, err := g.Generate(spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)})
+	res, err := g.Generate(context.Background(), spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,21 +175,21 @@ type alwaysFailingOracle struct {
 	fixSem, fixExec int
 }
 
-func (a *alwaysFailingOracle) GenerateTemplate(llm.GenerateRequest) (string, error) {
+func (a *alwaysFailingOracle) GenerateTemplate(context.Context, llm.GenerateRequest) (string, error) {
 	// Parses and executes, but violates any spec demanding joins/predicates.
 	return "SELECT r_name FROM region", nil
 }
 
-func (a *alwaysFailingOracle) ValidateSemantics(string, spec.Spec) (bool, []string, error) {
+func (a *alwaysFailingOracle) ValidateSemantics(context.Context, string, spec.Spec) (bool, []string, error) {
 	return false, []string{"expected 2 joins, template has 0"}, nil
 }
 
-func (a *alwaysFailingOracle) FixSemantics(sql string, _ spec.Spec, _ []string, _ llm.GenerateRequest) (string, error) {
+func (a *alwaysFailingOracle) FixSemantics(_ context.Context, sql string, _ spec.Spec, _ []string, _ llm.GenerateRequest) (string, error) {
 	a.fixSem++
 	return sql, nil // repair never works
 }
 
-func (a *alwaysFailingOracle) FixExecution(sql string, _ string, _ llm.GenerateRequest) (string, error) {
+func (a *alwaysFailingOracle) FixExecution(_ context.Context, sql string, _ string, _ llm.GenerateRequest) (string, error) {
 	a.fixExec++
 	return sql, nil
 }
@@ -204,7 +205,7 @@ func TestMaxRewritesBudgetAccounting(t *testing.T) {
 		// Disable static analysis so the oracle's (fabricated) judge verdict
 		// drives the loop deterministically.
 		g := New(db, oracle, Options{Seed: 2, MaxRewrites: k, DisableStaticAnalysis: true})
-		res, err := g.Generate(spec.Spec{NumJoins: spec.Int(0)})
+		res, err := g.Generate(context.Background(), spec.Spec{NumJoins: spec.Int(0)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -231,7 +232,7 @@ func TestMaxRewritesBudgetAccounting(t *testing.T) {
 func TestStatsReset(t *testing.T) {
 	db := engine.OpenTPCH(4, 0.05)
 	g := New(db, llm.NewSim(llm.Perfect(4)), Options{Seed: 4})
-	if _, err := g.Generate(spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(1)}); err != nil {
+	if _, err := g.Generate(context.Background(), spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(1)}); err != nil {
 		t.Fatal(err)
 	}
 	if g.Stats() == (Stats{}) {

@@ -13,6 +13,7 @@
 package llm
 
 import (
+	"context"
 	"sync/atomic"
 
 	"sqlbarber/internal/catalog"
@@ -48,25 +49,39 @@ type RefineRequest struct {
 }
 
 // Oracle is the language-model interface the template generator and the
-// cost-aware query generator depend on. Implementations must be safe for
-// sequential use; SQLBarber drives them single-threaded per pipeline.
+// cost-aware query generator depend on. Every call takes the caller's
+// context and must return promptly once it is cancelled (including during
+// simulated-latency or retry/backoff sleeps). Implementations must be safe
+// for sequential use; parallel pipelines obtain an independent child per
+// task via Forkable when the implementation carries mutable state.
 type Oracle interface {
 	// GenerateTemplate produces template SQL from the prompt context. The
 	// output may be syntactically invalid or violate the specification —
 	// callers must validate (Algorithm 1).
-	GenerateTemplate(req GenerateRequest) (string, error)
+	GenerateTemplate(ctx context.Context, req GenerateRequest) (string, error)
 	// ValidateSemantics judges whether the template satisfies the
 	// specification, returning the violations it found (Algorithm 1 line 2).
-	ValidateSemantics(templateSQL string, s spec.Spec) (satisfied bool, violations []string, err error)
+	ValidateSemantics(ctx context.Context, templateSQL string, s spec.Spec) (satisfied bool, violations []string, err error)
 	// FixSemantics rewrites the template to address the violations
 	// (Algorithm 1 line 4).
-	FixSemantics(templateSQL string, s spec.Spec, violations []string, req GenerateRequest) (string, error)
+	FixSemantics(ctx context.Context, templateSQL string, s spec.Spec, violations []string, req GenerateRequest) (string, error)
 	// FixExecution rewrites the template to address a DBMS error
 	// (Algorithm 1 line 8).
-	FixExecution(templateSQL string, dbmsError string, req GenerateRequest) (string, error)
+	FixExecution(ctx context.Context, templateSQL string, dbmsError string, req GenerateRequest) (string, error)
 	// RefineTemplate produces a new template aimed at an uncovered cost
 	// interval (Algorithm 2 line 22).
-	RefineTemplate(req RefineRequest) (string, error)
+	RefineTemplate(ctx context.Context, req RefineRequest) (string, error)
+}
+
+// Forkable is implemented by oracles that can derive an independent child
+// for one parallel task. The child shares the parent's ledger (and
+// transcript, if any) but owns a private random stream identified by the
+// task's stream coordinate, so the bytes a task draws never depend on which
+// goroutine ran it — the oracle half of the deterministic-parallelism
+// guarantee. Implementations without mutable per-call state (HTTPOracle)
+// may return themselves.
+type Forkable interface {
+	Fork(stream int64) Oracle
 }
 
 // o3-mini pricing (USD per million tokens) used by the cost study.

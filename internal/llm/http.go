@@ -30,11 +30,23 @@ type HTTPOracle struct {
 	Client *http.Client
 	// MaxRetries bounds retry attempts on transient failures (default 2).
 	MaxRetries int
+	// Backoff is the initial sleep before the first retry, doubling per
+	// attempt. Zero disables backoff. The sleep is context-aware:
+	// cancellation interrupts it immediately.
+	Backoff time.Duration
 
 	ledger Ledger
 }
 
-var _ Oracle = (*HTTPOracle)(nil)
+var (
+	_ Oracle   = (*HTTPOracle)(nil)
+	_ Forkable = (*HTTPOracle)(nil)
+)
+
+// Fork returns the oracle itself: HTTPOracle carries no mutable per-call
+// state beyond its atomic ledger, so one value may serve any number of
+// parallel tasks directly.
+func (o *HTTPOracle) Fork(stream int64) Oracle { return o }
 
 // NewHTTPOracle creates a client for an OpenAI-compatible endpoint.
 func NewHTTPOracle(baseURL, apiKey, model string) *HTTPOracle {
@@ -78,8 +90,10 @@ type chatResponse struct {
 	} `json:"error"`
 }
 
-// complete sends one chat turn and returns the assistant text.
-func (o *HTTPOracle) complete(prompt string) (string, error) {
+// complete sends one chat turn and returns the assistant text. Transient
+// failures are retried with exponential backoff; the caller's context
+// cancels both in-flight requests and backoff sleeps.
+func (o *HTTPOracle) complete(ctx context.Context, prompt string) (string, error) {
 	body, err := json.Marshal(chatRequest{
 		Model:    o.Model,
 		Messages: []chatMessage{{Role: "user", Content: prompt}},
@@ -92,21 +106,35 @@ func (o *HTTPOracle) complete(prompt string) (string, error) {
 	if retries < 0 {
 		retries = 0
 	}
+	backoff := o.Backoff
 	for attempt := 0; attempt <= retries; attempt++ {
-		text, retryable, err := o.completeOnce(body, prompt)
+		if attempt > 0 && backoff > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return "", fmt.Errorf("llm: chat completion cancelled during backoff: %w", ctx.Err())
+			case <-t.C:
+			}
+			backoff *= 2
+		}
+		if err := ctx.Err(); err != nil {
+			return "", fmt.Errorf("llm: chat completion cancelled: %w", err)
+		}
+		text, retryable, err := o.completeOnce(ctx, body, prompt)
 		if err == nil {
 			return text, nil
 		}
 		lastErr = err
-		if !retryable {
+		if !retryable || ctx.Err() != nil {
 			break
 		}
 	}
 	return "", fmt.Errorf("llm: chat completion failed: %w", lastErr)
 }
 
-func (o *HTTPOracle) completeOnce(body []byte, prompt string) (text string, retryable bool, err error) {
-	req, err := http.NewRequestWithContext(context.Background(), http.MethodPost,
+func (o *HTTPOracle) completeOnce(ctx context.Context, body []byte, prompt string) (text string, retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		o.BaseURL+"/chat/completions", bytes.NewReader(body))
 	if err != nil {
 		return "", false, err
@@ -185,8 +213,8 @@ func ExtractSQL(response string) string {
 }
 
 // GenerateTemplate prompts the model for a fresh template.
-func (o *HTTPOracle) GenerateTemplate(req GenerateRequest) (string, error) {
-	resp, err := o.complete(buildGeneratePrompt(req))
+func (o *HTTPOracle) GenerateTemplate(ctx context.Context, req GenerateRequest) (string, error) {
+	resp, err := o.complete(ctx, buildGeneratePrompt(req))
 	if err != nil {
 		return "", err
 	}
@@ -202,10 +230,10 @@ type validateJudgment struct {
 // ValidateSemantics asks the model to judge spec compliance, requesting a
 // JSON verdict; unparseable verdicts degrade to "not satisfied" with the raw
 // reasoning text as the violation.
-func (o *HTTPOracle) ValidateSemantics(templateSQL string, s spec.Spec) (bool, []string, error) {
+func (o *HTTPOracle) ValidateSemantics(ctx context.Context, templateSQL string, s spec.Spec) (bool, []string, error) {
 	prompt := buildValidatePrompt(templateSQL, s.Describe()) +
 		"\nAnswer with JSON only: {\"satisfied\": bool, \"violations\": [string]}\n"
-	resp, err := o.complete(prompt)
+	resp, err := o.complete(ctx, prompt)
 	if err != nil {
 		return false, nil, err
 	}
@@ -228,8 +256,8 @@ func extractJSON(s string) string {
 
 // FixSemantics asks the model to rewrite the template against the reported
 // violations.
-func (o *HTTPOracle) FixSemantics(templateSQL string, s spec.Spec, violations []string, req GenerateRequest) (string, error) {
-	resp, err := o.complete(buildFixSemanticsPrompt(templateSQL, s.Describe(), violations))
+func (o *HTTPOracle) FixSemantics(ctx context.Context, templateSQL string, s spec.Spec, violations []string, req GenerateRequest) (string, error) {
+	resp, err := o.complete(ctx, buildFixSemanticsPrompt(templateSQL, s.Describe(), violations))
 	if err != nil {
 		return "", err
 	}
@@ -237,8 +265,8 @@ func (o *HTTPOracle) FixSemantics(templateSQL string, s spec.Spec, violations []
 }
 
 // FixExecution asks the model to repair a DBMS error.
-func (o *HTTPOracle) FixExecution(templateSQL string, dbmsError string, req GenerateRequest) (string, error) {
-	resp, err := o.complete(buildFixExecutionPrompt(templateSQL, dbmsError))
+func (o *HTTPOracle) FixExecution(ctx context.Context, templateSQL string, dbmsError string, req GenerateRequest) (string, error) {
+	resp, err := o.complete(ctx, buildFixExecutionPrompt(templateSQL, dbmsError))
 	if err != nil {
 		return "", err
 	}
@@ -246,8 +274,8 @@ func (o *HTTPOracle) FixExecution(templateSQL string, dbmsError string, req Gene
 }
 
 // RefineTemplate asks the model for a cost-targeted template variant.
-func (o *HTTPOracle) RefineTemplate(req RefineRequest) (string, error) {
-	resp, err := o.complete(buildRefinePrompt(req))
+func (o *HTTPOracle) RefineTemplate(ctx context.Context, req RefineRequest) (string, error) {
+	resp, err := o.complete(ctx, buildRefinePrompt(req))
 	if err != nil {
 		return "", err
 	}

@@ -1,12 +1,14 @@
 package llm
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"sqlbarber/internal/datagen"
 	"sqlbarber/internal/spec"
@@ -51,7 +53,7 @@ func TestHTTPOracleGenerateTemplate(t *testing.T) {
 	o := NewHTTPOracle(srv.URL, "test-key", "o3-mini")
 	db := datagen.TPCH(1, 0.05)
 	paths := db.Schema.JoinPaths(0, 4)
-	sql, err := o.GenerateTemplate(GenerateRequest{Schema: db.Schema, JoinPath: paths[0], Spec: spec.Spec{}})
+	sql, err := o.GenerateTemplate(context.Background(), GenerateRequest{Schema: db.Schema, JoinPath: paths[0], Spec: spec.Spec{}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +71,7 @@ func TestHTTPOracleValidateSemantics(t *testing.T) {
 	})
 	defer srv.Close()
 	o := NewHTTPOracle(srv.URL, "test-key", "")
-	ok, viol, err := o.ValidateSemantics("SELECT 1 FROM t", spec.Spec{NumJoins: spec.Int(0)})
+	ok, viol, err := o.ValidateSemantics(context.Background(), "SELECT 1 FROM t", spec.Spec{NumJoins: spec.Int(0)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +84,7 @@ func TestHTTPOracleUnstructuredJudgment(t *testing.T) {
 	srv := stubServer(t, func(string) string { return "I think it is probably fine?" })
 	defer srv.Close()
 	o := NewHTTPOracle(srv.URL, "test-key", "")
-	ok, viol, err := o.ValidateSemantics("SELECT 1 FROM t", spec.Spec{})
+	ok, viol, err := o.ValidateSemantics(context.Background(), "SELECT 1 FROM t", spec.Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +108,7 @@ func TestHTTPOracleRetriesTransientErrors(t *testing.T) {
 	o := NewHTTPOracle(srv.URL, "", "")
 	req := RefineRequest{Schema: datagen.TPCH(1, 0.01).Schema, TemplateSQL: "SELECT 1 FROM t",
 		Target: stats.Interval{Lo: 0, Hi: 10}}
-	sql, err := o.RefineTemplate(req)
+	sql, err := o.RefineTemplate(context.Background(), req)
 	if err != nil {
 		t.Fatalf("retry failed: %v", err)
 	}
@@ -124,7 +126,7 @@ func TestHTTPOracleFatalErrorsDoNotRetry(t *testing.T) {
 	defer srv.Close()
 	o := NewHTTPOracle(srv.URL, "", "")
 	db := datagen.TPCH(1, 0.01)
-	_, err := o.FixExecution("SELECT 1", "syntax error", GenerateRequest{Schema: db.Schema})
+	_, err := o.FixExecution(context.Background(), "SELECT 1", "syntax error", GenerateRequest{Schema: db.Schema})
 	if err == nil {
 		t.Fatal("fatal status must error")
 	}
@@ -160,7 +162,7 @@ func TestHTTPOracleDrivesGeneratorEndToEnd(t *testing.T) {
 	paths := db.Schema.JoinPaths(1, 4)
 	s := spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)}
 	srv := stubServer(t, func(prompt string) string {
-		sql, _ := sim.GenerateTemplate(GenerateRequest{Schema: db.Schema, JoinPath: paths[0], Spec: s})
+		sql, _ := sim.GenerateTemplate(context.Background(), GenerateRequest{Schema: db.Schema, JoinPath: paths[0], Spec: s})
 		if strings.Contains(prompt, "Judge whether") {
 			return `{"satisfied": true, "violations": []}`
 		}
@@ -168,12 +170,111 @@ func TestHTTPOracleDrivesGeneratorEndToEnd(t *testing.T) {
 	})
 	defer srv.Close()
 	o := NewHTTPOracle(srv.URL, "test-key", "")
-	sql, err := o.GenerateTemplate(GenerateRequest{Schema: db.Schema, JoinPath: paths[0], Spec: s})
+	sql, err := o.GenerateTemplate(context.Background(), GenerateRequest{Schema: db.Schema, JoinPath: paths[0], Spec: s})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, _, err := o.ValidateSemantics(sql, s)
+	ok, _, err := o.ValidateSemantics(context.Background(), sql, s)
 	if err != nil || !ok {
 		t.Fatalf("validate: %v %v", ok, err)
+	}
+}
+
+// TestHTTPOracleCancelDuringBackoff verifies the caller's context interrupts
+// the retry/backoff sleep: with a server that always answers 503 and a long
+// backoff, cancellation must return promptly instead of sleeping out the
+// schedule.
+func TestHTTPOracleCancelDuringBackoff(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	o := NewHTTPOracle(srv.URL, "", "")
+	o.MaxRetries = 5
+	o.Backoff = time.Hour
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := o.GenerateTemplate(ctx, GenerateRequest{Schema: datagen.TPCH(1, 0.01).Schema})
+		done <- err
+	}()
+	for hits.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled completion must return an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not interrupt backoff sleep")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("expected no retries after cancellation, got %d hits", hits.Load())
+	}
+}
+
+// TestHTTPOracleCancelledContextNoRequest verifies an already-cancelled
+// context never reaches the wire.
+func TestHTTPOracleCancelledContextNoRequest(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer srv.Close()
+	o := NewHTTPOracle(srv.URL, "", "")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := o.GenerateTemplate(ctx, GenerateRequest{Schema: datagen.TPCH(1, 0.01).Schema}); err == nil {
+		t.Fatal("cancelled context must error")
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("cancelled context still sent %d requests", hits.Load())
+	}
+}
+
+// TestSimLLMForkDeterministic verifies forked oracles are pure functions of
+// their stream coordinate: the same stream yields the same bytes regardless
+// of what other forks did in between, and distinct streams diverge.
+func TestSimLLMForkDeterministic(t *testing.T) {
+	ctx := context.Background()
+	db := datagen.TPCH(1, 0.01)
+	paths := db.Schema.JoinPaths(1, 4)
+	req := GenerateRequest{Schema: db.Schema, JoinPath: paths[0], Spec: spec.Spec{}}
+
+	run := func(streams []int64) map[int64]string {
+		parent := NewSim(SimOptions{Seed: 7})
+		out := map[int64]string{}
+		for _, st := range streams {
+			child := parent.Fork(st)
+			sql, err := child.GenerateTemplate(ctx, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[st] = sql
+		}
+		return out
+	}
+	a := run([]int64{0, 1, 2})
+	b := run([]int64{2, 0, 1}) // different visit order must not matter
+	for st, sql := range a {
+		if b[st] != sql {
+			t.Fatalf("stream %d not order-independent:\n%q\nvs\n%q", st, sql, b[st])
+		}
+	}
+	if a[0] == a[1] && a[1] == a[2] {
+		t.Fatal("distinct streams produced identical templates; streams not independent")
+	}
+	// Forks share the parent's ledger.
+	parent := NewSim(SimOptions{Seed: 7})
+	child := parent.Fork(3)
+	if _, err := child.GenerateTemplate(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if parent.Ledger().Calls() != 1 {
+		t.Fatalf("fork must share ledger, parent saw %d calls", parent.Ledger().Calls())
 	}
 }

@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"math/rand"
 
 	"sqlbarber/internal/catalog"
@@ -114,7 +115,7 @@ func TestSimLLMLifecycle(t *testing.T) {
 	paths := db.Schema.JoinPaths(1, 8)
 	s := spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)}
 	req := GenerateRequest{Schema: db.Schema, JoinPath: paths[0], Spec: s}
-	sql, err := sim.GenerateTemplate(req)
+	sql, err := sim.GenerateTemplate(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,17 +126,17 @@ func TestSimLLMLifecycle(t *testing.T) {
 		t.Fatal("ledger not charged")
 	}
 
-	ok, viol, err := sim.ValidateSemantics(sql, s)
+	ok, viol, err := sim.ValidateSemantics(context.Background(), sql, s)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !ok {
-		fixed, err := sim.FixSemantics(sql, s, viol, req)
+		fixed, err := sim.FixSemantics(context.Background(), sql, s, viol, req)
 		if err != nil || fixed == "" {
 			t.Fatalf("fix semantics: %v", err)
 		}
 	}
-	if _, err := sim.FixExecution(sql, "syntax error at or near position 3", req); err != nil {
+	if _, err := sim.FixExecution(context.Background(), sql, "syntax error at or near position 3", req); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -145,19 +146,19 @@ func TestValidateSemanticsJudgesCorrectly(t *testing.T) {
 	sim := NewSim(Perfect(9))
 	s := spec.Spec{NumJoins: spec.Int(0), NumPredicates: spec.Int(1)}
 	good := "SELECT o_orderkey FROM orders WHERE o_totalprice > {p_1}"
-	ok, _, err := sim.ValidateSemantics(good, s)
+	ok, _, err := sim.ValidateSemantics(context.Background(), good, s)
 	if err != nil || !ok {
 		t.Fatalf("good template judged bad: %v", err)
 	}
 	bad := "SELECT o_orderkey FROM orders AS a JOIN customer AS c ON a.o_custkey = c.c_custkey WHERE a.o_totalprice > {p_1}"
-	ok, viol, err := sim.ValidateSemantics(bad, s)
+	ok, viol, err := sim.ValidateSemantics(context.Background(), bad, s)
 	if err != nil || ok {
 		t.Fatalf("bad template judged good")
 	}
 	if len(viol) == 0 {
 		t.Fatal("no violations reported")
 	}
-	ok, viol, _ = sim.ValidateSemantics("NOT SQL AT ALL", s)
+	ok, viol, _ = sim.ValidateSemantics(context.Background(), "NOT SQL AT ALL", s)
 	if ok || len(viol) == 0 {
 		t.Fatal("garbage must be judged invalid")
 	}
@@ -170,7 +171,7 @@ func TestRefineTemplateMovesTowardTarget(t *testing.T) {
 	s := spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)}
 	// A template over small tables with low observed costs; ask for higher.
 	low := "SELECT t0.n_nationkey FROM nation AS t0 JOIN region AS t1 ON t0.n_regionkey = t1.r_regionkey WHERE t0.n_nationkey > {p_1} AND t1.r_regionkey > {p_2}"
-	newSQL, err := sim.RefineTemplate(RefineRequest{
+	newSQL, err := sim.RefineTemplate(context.Background(), RefineRequest{
 		Schema:      db.Schema,
 		TemplateSQL: low,
 		Spec:        s,

@@ -1,14 +1,17 @@
 package llm
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"sqlbarber/internal/catalog"
+	"sqlbarber/internal/prand"
 	"sqlbarber/internal/spec"
 	"sqlbarber/internal/sqltemplate"
 )
@@ -62,19 +65,38 @@ func Perfect(seed int64) SimOptions {
 // is a schema-aware SQL synthesizer with controlled error injection,
 // sufficient to exercise every oracle-facing code path of SQLBarber.
 type SimLLM struct {
-	opts       SimOptions
-	rng        *rand.Rand
-	ledger     *Ledger
-	transcript io.Writer
-	calls      int
+	opts   SimOptions
+	rng    *rand.Rand
+	ledger *Ledger
+	sink   *transcriptSink
 }
 
-var _ Oracle = (*SimLLM)(nil)
+var (
+	_ Oracle   = (*SimLLM)(nil)
+	_ Forkable = (*SimLLM)(nil)
+)
+
+// transcriptSink serializes transcript writes across an oracle and all of
+// its forks so interleaved parallel calls stay readable and race-free.
+type transcriptSink struct {
+	mu    sync.Mutex
+	w     io.Writer
+	calls int
+}
+
+func (t *transcriptSink) log(prompt, completion string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.calls++
+	if t.w != nil {
+		fmt.Fprintf(t.w, "=== call %d ===\n--- prompt ---\n%s\n--- response ---\n%s\n\n", t.calls, prompt, completion)
+	}
+}
 
 // NewSim creates a simulated LLM.
 func NewSim(opts SimOptions) *SimLLM {
 	o := opts.withDefaults()
-	return &SimLLM{opts: o, rng: rand.New(rand.NewSource(o.Seed)), ledger: &Ledger{}}
+	return &SimLLM{opts: o, rng: rand.New(rand.NewSource(o.Seed)), ledger: &Ledger{}, sink: &transcriptSink{}}
 }
 
 // Ledger exposes the token/cost meter.
@@ -82,16 +104,37 @@ func (s *SimLLM) Ledger() *Ledger { return s.ledger }
 
 // SetTranscript directs a full prompt/response log of every oracle call to
 // w (nil disables). Useful for auditing what the pipeline asked of the LLM.
-func (s *SimLLM) SetTranscript(w io.Writer) { s.transcript = w }
+// The writer is shared with every fork of this oracle.
+func (s *SimLLM) SetTranscript(w io.Writer) {
+	s.sink.mu.Lock()
+	s.sink.w = w
+	s.sink.mu.Unlock()
+}
 
-func (s *SimLLM) charge(prompt, completion string) {
+// Fork derives an independent child oracle for one parallel task. The child
+// shares this oracle's ledger and transcript but draws from a private
+// random stream mixed from (Seed, StageOracle, stream), so its hallucination
+// coin flips are a pure function of the task coordinate — never of goroutine
+// scheduling.
+func (s *SimLLM) Fork(stream int64) Oracle {
+	return &SimLLM{
+		opts:   s.opts,
+		rng:    prand.New(s.opts.Seed, prand.StageOracle, stream),
+		ledger: s.ledger,
+		sink:   s.sink,
+	}
+}
+
+func (s *SimLLM) charge(ctx context.Context, prompt, completion string) {
 	if s.opts.Latency > 0 {
-		time.Sleep(s.opts.Latency)
+		t := time.NewTimer(s.opts.Latency)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+		case <-t.C:
+		}
 	}
-	s.calls++
-	if s.transcript != nil {
-		fmt.Fprintf(s.transcript, "=== call %d ===\n--- prompt ---\n%s\n--- response ---\n%s\n\n", s.calls, prompt, completion)
-	}
+	s.sink.log(prompt, completion)
 	// Simulated chain-of-thought: o3-mini bills reasoning tokens as output;
 	// approximate with a 3x multiplier on the visible completion.
 	s.ledger.Record(prompt, completion+strings.Repeat(" r", CountTokens(completion)*3))
@@ -100,7 +143,10 @@ func (s *SimLLM) charge(prompt, completion string) {
 func (s *SimLLM) hit(rate float64) bool { return s.rng.Float64() < rate }
 
 // GenerateTemplate synthesizes a template with hallucination injection.
-func (s *SimLLM) GenerateTemplate(req GenerateRequest) (string, error) {
+func (s *SimLLM) GenerateTemplate(ctx context.Context, req GenerateRequest) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	prompt := buildGeneratePrompt(req)
 	sql := synthesize(synthOptions{
 		schema:      req.Schema,
@@ -110,18 +156,21 @@ func (s *SimLLM) GenerateTemplate(req GenerateRequest) (string, error) {
 		breakSpec:   s.hit(s.opts.SpecErrorRate),
 		breakSyntax: s.hit(s.opts.SyntaxErrorRate),
 	})
-	s.charge(prompt, sql)
+	s.charge(ctx, prompt, sql)
 	return sql, nil
 }
 
 // ValidateSemantics judges spec compliance by analyzing the template's real
 // features, with a small misjudgment rate.
-func (s *SimLLM) ValidateSemantics(templateSQL string, sp spec.Spec) (bool, []string, error) {
+func (s *SimLLM) ValidateSemantics(ctx context.Context, templateSQL string, sp spec.Spec) (bool, []string, error) {
+	if err := ctx.Err(); err != nil {
+		return false, nil, err
+	}
 	prompt := buildValidatePrompt(templateSQL, sp.Describe())
 	t, err := sqltemplate.Parse(templateSQL)
 	if err != nil {
 		resp := "The template is not parseable SQL, so the specification cannot hold."
-		s.charge(prompt, resp)
+		s.charge(ctx, prompt, resp)
 		return false, []string{"template is not valid SQL: " + err.Error()}, nil
 	}
 	ok, violations := sp.Check(t.Features())
@@ -135,13 +184,16 @@ func (s *SimLLM) ValidateSemantics(templateSQL string, sp spec.Spec) (bool, []st
 			violations = nil
 		}
 	}
-	s.charge(prompt, strings.Join(violations, "; ")+" ok")
+	s.charge(ctx, prompt, strings.Join(violations, "; ")+" ok")
 	return ok, violations, nil
 }
 
 // FixSemantics rewrites the template to satisfy the spec, succeeding with
 // FixSuccessRate.
-func (s *SimLLM) FixSemantics(templateSQL string, sp spec.Spec, violations []string, req GenerateRequest) (string, error) {
+func (s *SimLLM) FixSemantics(ctx context.Context, templateSQL string, sp spec.Spec, violations []string, req GenerateRequest) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	prompt := buildFixSemanticsPrompt(templateSQL, sp.Describe(), violations)
 	success := s.hit(s.opts.FixSuccessRate)
 	sql := synthesize(synthOptions{
@@ -152,12 +204,15 @@ func (s *SimLLM) FixSemantics(templateSQL string, sp spec.Spec, violations []str
 		breakSpec:   !success,
 		breakSyntax: s.hit(s.opts.SyntaxErrorRate * 0.4), // fixes reintroduce fewer syntax bugs
 	})
-	s.charge(prompt, sql)
+	s.charge(ctx, prompt, sql)
 	return sql, nil
 }
 
 // FixExecution repairs a DBMS error, succeeding with FixSuccessRate.
-func (s *SimLLM) FixExecution(templateSQL string, dbmsError string, req GenerateRequest) (string, error) {
+func (s *SimLLM) FixExecution(ctx context.Context, templateSQL string, dbmsError string, req GenerateRequest) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	prompt := buildFixExecutionPrompt(templateSQL, dbmsError)
 	success := s.hit(s.opts.FixSuccessRate)
 	sql := synthesize(synthOptions{
@@ -168,7 +223,7 @@ func (s *SimLLM) FixExecution(templateSQL string, dbmsError string, req Generate
 		breakSpec:   false,
 		breakSyntax: !success,
 	})
-	s.charge(prompt, sql)
+	s.charge(ctx, prompt, sql)
 	return sql, nil
 }
 
@@ -176,7 +231,10 @@ func (s *SimLLM) FixExecution(templateSQL string, dbmsError string, req Generate
 // moves toward the target interval: it re-plans the join path over larger or
 // smaller tables while preserving the specification, and uses the few-shot
 // history to avoid structures that already failed (Algorithm 2 phase 2).
-func (s *SimLLM) RefineTemplate(req RefineRequest) (string, error) {
+func (s *SimLLM) RefineTemplate(ctx context.Context, req RefineRequest) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	prompt := buildRefinePrompt(req)
 	cur, err := sqltemplate.Parse(req.TemplateSQL)
 	if err != nil {
@@ -186,7 +244,7 @@ func (s *SimLLM) RefineTemplate(req RefineRequest) (string, error) {
 			paths = req.Schema.JoinPaths(0, 10)
 		}
 		sql := synthesize(synthOptions{schema: req.Schema, path: paths[s.rng.Intn(len(paths))], spec: req.Spec, rng: s.rng})
-		s.charge(prompt, sql)
+		s.charge(ctx, prompt, sql)
 		return sql, nil
 	}
 	feats := cur.Features()
@@ -258,7 +316,7 @@ func (s *SimLLM) RefineTemplate(req RefineRequest) (string, error) {
 		}
 	}
 	sql := synthesize(synthOptions{schema: req.Schema, path: path, spec: req.Spec, rng: s.rng})
-	s.charge(prompt, sql)
+	s.charge(ctx, prompt, sql)
 	return sql, nil
 }
 

@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/stats"
+)
+
+// runSignature renders every observable output of a run — the workload
+// (SQL, cost, template id, in order), the final distance, the DBMS call
+// count, the distance trajectory, the surviving template SQL, and the
+// per-spec generation verdicts — so two runs can be diffed byte-for-byte.
+// Wall-clock fields (Elapsed, StageTimings, trajectory timestamps) are the
+// only outputs deliberately excluded.
+func runSignature(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "distance=%.9g dbcalls=%d queries=%d partial=%v\n",
+		res.Distance, res.DBCalls, len(res.Workload), res.Partial)
+	for i, q := range res.Workload {
+		fmt.Fprintf(&b, "q%d\t%d\t%.9g\t%s\n", i, q.TemplateID, q.Cost, q.SQL)
+	}
+	for i, p := range res.Trajectory {
+		fmt.Fprintf(&b, "traj%d\t%.9g\n", i, p.Distance)
+	}
+	for i, st := range res.Templates {
+		fmt.Fprintf(&b, "tmpl%d\t%d\t%s\n", i, st.Profile.Template.ID, st.Profile.Template.SQL())
+	}
+	for i, gr := range res.GenResults {
+		fmt.Fprintf(&b, "gen%d\tvalid=%v attempts=%d\n", i, gr.Valid, len(gr.Trace))
+	}
+	return b.String()
+}
+
+// TestParallelByteIdentical is the repo's determinism contract for the whole
+// pipeline: on both datasets, -parallel 1, 2, and 8 must produce the exact
+// same workload, trajectory, stats, and templates. Worker count is pure
+// scheduling — every task draws from a stream derived from its position, and
+// merges happen in task order.
+func TestParallelByteIdentical(t *testing.T) {
+	datasets := []struct {
+		name string
+		open func() *engine.DB
+	}{
+		{"tpch", func() *engine.DB { return engine.OpenTPCH(17, 0.05) }},
+		{"imdb", func() *engine.DB { return engine.OpenIMDB(17, 0.05) }},
+	}
+	for _, ds := range datasets {
+		t.Run(ds.name, func(t *testing.T) {
+			run := func(parallel int) string {
+				cfg := Config{
+					DB:       ds.open(),
+					Oracle:   llm.NewSim(llm.SimOptions{Seed: 17}),
+					CostKind: engine.Cardinality,
+					Specs:    smallSpecs(),
+					Target:   stats.Uniform(0, 1200, 4, 40),
+					Seed:     17,
+					Parallel: parallel,
+				}
+				res, err := Run(context.Background(), cfg)
+				if err != nil {
+					t.Fatalf("parallel=%d: %v", parallel, err)
+				}
+				return runSignature(res)
+			}
+			seq := run(1)
+			for _, par := range []int{2, 8} {
+				if got := run(par); got != seq {
+					t.Fatalf("%s: -parallel %d diverged from sequential\n--- sequential ---\n%s\n--- parallel %d ---\n%s",
+						ds.name, par, firstDiff(seq, got), par, "")
+				}
+			}
+		})
+	}
+}
+
+// firstDiff trims two signatures to the first differing line for readable
+// failures.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  seq: %s\n  par: %s", i, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}

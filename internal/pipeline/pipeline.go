@@ -1,0 +1,224 @@
+// Package pipeline decomposes SQLBarber's end-to-end workload generation
+// (Definition 2.13) into explicit stages: §4 template generation, §5.1
+// profiling, the §5.2+§5.3 refine/search loop, and final workload assembly.
+// Each stage reads and writes a shared RunState, is timed individually, and
+// observes the caller's context — cancellation stops work at the next stage
+// (or intra-stage wave) boundary and still yields a valid partial Result,
+// because assembly always runs over whatever the earlier stages produced.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/generator"
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/profiler"
+	"sqlbarber/internal/refine"
+	"sqlbarber/internal/search"
+	"sqlbarber/internal/spec"
+	"sqlbarber/internal/stats"
+	"sqlbarber/internal/workload"
+)
+
+// Config describes one workload-generation task.
+type Config struct {
+	// DB is the target database.
+	DB *engine.DB
+	// Oracle is the language model used for template generation and
+	// refinement.
+	Oracle llm.Oracle
+	// CostKind selects the cost metric (cardinality, plan cost, ...).
+	CostKind engine.CostKind
+	// Specs are the per-template specifications (one template is generated
+	// per spec).
+	Specs []spec.Spec
+	// Target is the cost distribution the generated workload must match.
+	Target *stats.TargetDistribution
+	// Seed drives all stochastic components.
+	Seed int64
+
+	// Parallel fans independent work (template generation across specs,
+	// profiling across templates, BO runs across a search wave) over this
+	// many goroutines (default 1). Any value produces byte-identical output:
+	// every task owns a random stream derived from its position, and results
+	// merge in task order.
+	Parallel int
+
+	// ProfileFraction sets the profiling budget as a fraction of the
+	// requested query count (§5.1; default 0.15).
+	ProfileFraction float64
+
+	// DisableRefine turns off Algorithm 2 (the "No-Refine-Prune" ablation).
+	DisableRefine bool
+	// NaiveSearch replaces BO with random search (the "Naive-Search"
+	// ablation).
+	NaiveSearch bool
+	// IndependentSampling disables LHS during profiling (ablation).
+	IndependentSampling bool
+
+	// GenOpts, RefineOpts, SearchOpts override component defaults.
+	GenOpts    generator.Options
+	RefineOpts refine.Options
+	SearchOpts search.Options
+
+	// Progress, when non-nil, receives the distance trajectory while the
+	// predicate search runs.
+	Progress func(elapsed time.Duration, distance float64)
+}
+
+// ProgressPoint is one sample of the distance-over-time trajectory.
+type ProgressPoint struct {
+	Elapsed  time.Duration
+	Distance float64
+}
+
+// StageTiming records how long one pipeline stage ran.
+type StageTiming struct {
+	Stage   string
+	Elapsed time.Duration
+}
+
+// Result is a completed (or cancelled-but-assembled) workload generation.
+type Result struct {
+	// Workload is the selected N-query workload.
+	Workload []workload.Query
+	// Distance is the Wasserstein distance between the workload's costs and
+	// the target distribution (0 = exact match).
+	Distance float64
+	// Templates is the final template set (seeds + accepted refinements,
+	// after pruning).
+	Templates []*workload.TemplateState
+	// GenResults holds per-spec generation traces (Algorithm 1 attempts).
+	GenResults []*generator.Result
+	// RefineStats and SearchStats report component behaviour.
+	RefineStats refine.Stats
+	SearchStats search.Stats
+	// Trajectory is the recorded distance-over-time series.
+	Trajectory []ProgressPoint
+	// Elapsed is the wall-clock generation time.
+	Elapsed time.Duration
+	// DBCalls is the number of DBMS evaluations consumed.
+	DBCalls int64
+	// StageTimings lists per-stage wall-clock durations in execution order.
+	StageTimings []StageTiming
+	// Partial marks a run cut short by context cancellation; the workload
+	// holds the best queries gathered before the cut.
+	Partial bool
+	// CancelledStage names the stage that observed the cancellation (empty
+	// when Partial is false).
+	CancelledStage string
+}
+
+// RunState is the shared state stages read and write. A fresh one is built
+// per Run; stages communicate exclusively through it.
+type RunState struct {
+	Cfg   Config
+	Start time.Time
+	Res   *Result
+
+	// Gen is the §4 generator (built by the generate stage).
+	Gen *generator.Generator
+	// Prof is the §5.1 profiler (built by the profile stage, reused by
+	// refinement).
+	Prof *profiler.Profiler
+	// States are the live templates flowing through profile → refine →
+	// search.
+	States []*workload.TemplateState
+	// Queries accumulates every distribution-countable query produced so
+	// far (profiling observations + search probes).
+	Queries []workload.Query
+
+	startCalls    int64
+	seenTemplates map[int]bool
+}
+
+// CollectProfileQueries folds the profiling observations of any templates
+// not yet seen into the query pool: profiled probes double as seed queries
+// for the workload.
+func (rs *RunState) CollectProfileQueries() {
+	for _, st := range rs.States {
+		id := st.Profile.Template.ID
+		if rs.seenTemplates[id] {
+			continue
+		}
+		rs.seenTemplates[id] = true
+		for _, o := range st.Profile.Obs {
+			rs.Queries = append(rs.Queries, workload.Query{SQL: o.SQL, Cost: o.Cost, TemplateID: id})
+		}
+	}
+}
+
+// Stage is one unit of the pipeline. Run mutates the shared state; an error
+// aborts the remaining stages (assembly still runs when the error is the
+// context's own cancellation, producing a partial Result).
+type Stage interface {
+	Name() string
+	Run(ctx context.Context, rs *RunState) error
+}
+
+// Stages returns the standard pipeline in execution order. Assembly is not
+// listed: it is unconditional and runs inside Run after the stage loop.
+func Stages() []Stage {
+	return []Stage{generateStage{}, profileStage{}, refineSearchStage{}}
+}
+
+// Run executes the pipeline. On context cancellation it returns a partial
+// Result (Partial=true, CancelledStage set) assembled from the queries
+// gathered so far rather than an error; hard failures (no valid templates,
+// oracle breakdown) return an error as before.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.DB == nil || cfg.Oracle == nil || cfg.Target == nil {
+		return nil, fmt.Errorf("pipeline: DB, Oracle, and Target are required")
+	}
+	if cfg.ProfileFraction <= 0 {
+		cfg.ProfileFraction = 0.15
+	}
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = 1
+	}
+	rs := &RunState{
+		Cfg:           cfg,
+		Start:         time.Now(),
+		Res:           &Result{},
+		startCalls:    cfg.DB.ExplainCalls() + cfg.DB.ExecCalls(),
+		seenTemplates: map[int]bool{},
+	}
+	for _, st := range Stages() {
+		t0 := time.Now()
+		err := st.Run(ctx, rs)
+		rs.Res.StageTimings = append(rs.Res.StageTimings, StageTiming{Stage: st.Name(), Elapsed: time.Since(t0)})
+		if err != nil {
+			if ctx.Err() != nil {
+				rs.Res.Partial = true
+				rs.Res.CancelledStage = st.Name()
+				break
+			}
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			rs.Res.Partial = true
+			rs.Res.CancelledStage = st.Name()
+			break
+		}
+	}
+	t0 := time.Now()
+	assemble(rs)
+	rs.Res.StageTimings = append(rs.Res.StageTimings, StageTiming{Stage: "assemble", Elapsed: time.Since(t0)})
+	return rs.Res, nil
+}
+
+// assemble is the unconditional final step: select the per-interval quota
+// from every gathered query and measure the achieved distance. It runs even
+// after cancellation so a partial run still returns its best workload.
+func assemble(rs *RunState) {
+	res := rs.Res
+	res.Templates = rs.States
+	res.Workload = workload.SelectWorkload(rs.Queries, rs.Cfg.Target)
+	res.Distance = workload.Distance(res.Workload, rs.Cfg.Target)
+	res.Elapsed = time.Since(rs.Start)
+	res.DBCalls = rs.Cfg.DB.ExplainCalls() + rs.Cfg.DB.ExecCalls() - rs.startCalls
+	res.Trajectory = append(res.Trajectory, ProgressPoint{Elapsed: res.Elapsed, Distance: res.Distance})
+}

@@ -1,0 +1,127 @@
+package pipeline
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/spec"
+	"sqlbarber/internal/stats"
+)
+
+func smallSpecs() []spec.Spec {
+	return []spec.Spec{
+		{NumJoins: spec.Int(0), NumPredicates: spec.Int(2)},
+		{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)},
+		{NumJoins: spec.Int(1), NumPredicates: spec.Int(1), GroupBy: spec.Bool(true), NumAggregations: spec.Int(1)},
+		{NumJoins: spec.Int(2), NumPredicates: spec.Int(2)},
+	}
+}
+
+func smallConfig(seed int64) Config {
+	return Config{
+		DB:       engine.OpenTPCH(seed, 0.05),
+		Oracle:   llm.NewSim(llm.SimOptions{Seed: seed}),
+		CostKind: engine.Cardinality,
+		Specs:    smallSpecs(),
+		Target:   stats.Uniform(0, 1500, 4, 40),
+		Seed:     seed,
+	}
+}
+
+// TestPipelineStageTimings checks the staged decomposition is observable: a
+// full run reports one timing entry per stage, in execution order, ending
+// with the unconditional assemble stage.
+func TestPipelineStageTimings(t *testing.T) {
+	res, err := Run(context.Background(), smallConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatalf("uncancelled run marked partial (stage %q)", res.CancelledStage)
+	}
+	want := []string{"generate", "profile", "refine-search", "assemble"}
+	if len(res.StageTimings) != len(want) {
+		t.Fatalf("stage timings: %+v, want %v", res.StageTimings, want)
+	}
+	for i, st := range res.StageTimings {
+		if st.Stage != want[i] {
+			t.Fatalf("stage %d = %q, want %q", i, st.Stage, want[i])
+		}
+		if st.Elapsed < 0 {
+			t.Fatalf("negative elapsed for %q", st.Stage)
+		}
+	}
+	if len(res.Workload) == 0 {
+		t.Fatal("empty workload from full run")
+	}
+}
+
+// TestPipelineCancelReturnsPartial cancels mid-generation (the simulated
+// oracle sleeps per call, so the cut lands inside the generate stage) and
+// checks the contract: no error, Partial set, the cancelling stage named,
+// a valid (possibly empty) Result, and a prompt return.
+func TestPipelineCancelReturnsPartial(t *testing.T) {
+	cfg := smallConfig(7)
+	cfg.Oracle = llm.NewSim(llm.SimOptions{Seed: 7, Latency: 20 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	before := runtime.NumGoroutine()
+	start := time.Now()
+	res, err := Run(ctx, cfg)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("cancelled run must return a partial result, got error: %v", err)
+	}
+	if !res.Partial {
+		t.Fatal("cancelled run not marked partial")
+	}
+	if res.CancelledStage == "" {
+		t.Fatal("partial result must name the cancelled stage")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %s to unwind", elapsed)
+	}
+	last := res.StageTimings[len(res.StageTimings)-1]
+	if last.Stage != "assemble" {
+		t.Fatalf("assemble must run even on cancel; final stage was %q", last.Stage)
+	}
+	// Workers must all have drained: allow the runtime a moment to reap.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutine leak after cancel: %d before, %d after", before, after)
+	}
+}
+
+// TestPipelinePreCancelled runs with an already-dead context: every stage
+// must be skipped-or-cut, yet assembly still returns a well-formed Result.
+func TestPipelinePreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, smallConfig(9))
+	if err != nil {
+		t.Fatalf("pre-cancelled run: %v", err)
+	}
+	if !res.Partial || res.CancelledStage != "generate" {
+		t.Fatalf("expected cancellation in the generate stage, got partial=%v stage=%q", res.Partial, res.CancelledStage)
+	}
+	if len(res.Workload) != 0 {
+		t.Fatalf("no work could have happened, yet workload has %d queries", len(res.Workload))
+	}
+	if res.DBCalls != 0 {
+		t.Fatalf("pre-cancelled run consumed %d DBMS calls", res.DBCalls)
+	}
+}
+
+// TestPipelineConfigValidation preserves the legacy required-field errors.
+func TestPipelineConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Fatal("empty config must error")
+	}
+}

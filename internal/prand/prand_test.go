@@ -1,0 +1,60 @@
+package prand
+
+import "testing"
+
+func TestMixIsDeterministic(t *testing.T) {
+	if Mix(1, 2, 3) != Mix(1, 2, 3) {
+		t.Fatal("Mix is not deterministic")
+	}
+}
+
+func TestMixIsOrderSensitive(t *testing.T) {
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Fatal("Mix must distinguish coordinate order")
+	}
+}
+
+func TestMixAvoidsCollisionsOnSmallGrid(t *testing.T) {
+	seen := map[int64]bool{}
+	for stage := int64(0); stage < 4; stage++ {
+		for round := int64(0); round < 64; round++ {
+			for task := int64(0); task < 64; task++ {
+				v := Mix(7, stage, round, task)
+				if seen[v] {
+					t.Fatalf("collision at (%d,%d,%d)", stage, round, task)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestMixNonNegative(t *testing.T) {
+	for _, v := range []int64{-1, 0, 1, 1 << 62, -(1 << 62)} {
+		if Mix(v) < 0 {
+			t.Fatalf("Mix(%d) negative", v)
+		}
+	}
+}
+
+func TestNewStreamsDiffer(t *testing.T) {
+	a, b := New(1, 0), New(1, 1)
+	same := 0
+	for i := 0; i < 16; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams (1,0) and (1,1) overlap: %d/16 equal draws", same)
+	}
+}
+
+func TestHashStringDistinguishesText(t *testing.T) {
+	if HashString("SELECT 1") == HashString("SELECT 2") {
+		t.Fatal("hash collision on distinct SQL")
+	}
+	if HashString("x") < 0 || HashString("") < 0 {
+		t.Fatal("HashString must be non-negative")
+	}
+}

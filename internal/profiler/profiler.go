@@ -6,11 +6,12 @@
 package profiler
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
 	"sqlbarber/internal/bo"
 	"sqlbarber/internal/engine"
+	"sqlbarber/internal/prand"
 	"sqlbarber/internal/sqltemplate"
 	"sqlbarber/internal/sqltypes"
 	"sqlbarber/internal/stats"
@@ -135,6 +136,10 @@ type Profile struct {
 	Template *sqltemplate.Template
 	Space    *SearchSpace
 	Obs      []Observation
+	// Prep is the template prepared against the profiling database: parsed
+	// and placeholder-bound once, re-planned per probe. Downstream BO search
+	// costs candidate values through it instead of re-parsing rendered SQL.
+	Prep *engine.Prepared
 }
 
 // Costs returns the observed cost vector (the C_i of §5.2).
@@ -150,23 +155,32 @@ func (p *Profile) Costs() []float64 {
 type Profiler struct {
 	DB   *engine.DB
 	Kind engine.CostKind
-	Rng  *rand.Rand
+	// Seed is the base seed; each template draws its sample points from the
+	// private stream Mix(Seed, StageProfile, HashString(template SQL)), so
+	// profiling order and worker count never change what any template sees.
+	Seed int64
 	// IndependentSampling switches LHS off (ablation only).
 	IndependentSampling bool
 }
 
 // Profile instantiates the template at n space-filling sample points and
-// records the observed costs. Templates whose queries fail to plan return an
-// error and should be discarded by the caller.
-func (p *Profiler) Profile(t *sqltemplate.Template, n int) (*Profile, error) {
+// records the observed costs. The template is prepared once (one parse, one
+// placeholder binding) and every probe re-plans through the prepared
+// statement. Templates whose queries fail to plan return an error and should
+// be discarded by the caller.
+func (p *Profiler) Profile(ctx context.Context, t *sqltemplate.Template, n int) (*Profile, error) {
 	bindings, err := t.BindPlaceholders(p.DB.Schema())
 	if err != nil {
 		return nil, err
 	}
+	prep, err := p.DB.Prepare(t.SQL())
+	if err != nil {
+		return nil, fmt.Errorf("profiler: template %d does not prepare: %w", t.ID, err)
+	}
 	if len(bindings) == 0 {
 		// A template without placeholders yields exactly one query.
 		sql := t.SQL()
-		cost, err := p.DB.Cost(sql, p.Kind)
+		cost, err := prep.Cost(ctx, nil, p.Kind)
 		if err != nil {
 			return nil, err
 		}
@@ -174,6 +188,7 @@ func (p *Profiler) Profile(t *sqltemplate.Template, n int) (*Profile, error) {
 			Template: t,
 			Space:    &SearchSpace{Template: t},
 			Obs:      []Observation{{SQL: sql, Cost: cost}},
+			Prep:     prep,
 		}, nil
 	}
 	space, err := BuildSearchSpace(t, bindings)
@@ -181,20 +196,22 @@ func (p *Profiler) Profile(t *sqltemplate.Template, n int) (*Profile, error) {
 		return nil, err
 	}
 	boSpace := space.BOSpace()
+	rng := prand.New(p.Seed, prand.StageProfile, prand.HashString(t.SQL()))
 	var unit [][]float64
 	if p.IndependentSampling {
-		unit = stats.IndependentUniform(p.Rng, n, len(space.Dims))
+		unit = stats.IndependentUniform(rng, n, len(space.Dims))
 	} else {
-		unit = stats.LatinHypercube(p.Rng, n, len(space.Dims))
+		unit = stats.LatinHypercube(rng, n, len(space.Dims))
 	}
-	prof := &Profile{Template: t, Space: space}
+	prof := &Profile{Template: t, Space: space, Prep: prep}
 	for _, u := range unit {
 		raw := boSpace.Denormalize(u)
-		sql, err := space.Instantiate(raw)
+		vals := space.ValuesFor(raw)
+		sql, err := t.Instantiate(vals)
 		if err != nil {
 			return nil, err
 		}
-		cost, err := p.DB.Cost(sql, p.Kind)
+		cost, err := prep.Cost(ctx, vals, p.Kind)
 		if err != nil {
 			return nil, fmt.Errorf("profiler: template %d probe failed: %w", t.ID, err)
 		}

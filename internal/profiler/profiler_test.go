@@ -1,7 +1,7 @@
 package profiler
 
 import (
-	"math/rand"
+	"context"
 	"testing"
 
 	"sqlbarber/internal/engine"
@@ -13,14 +13,14 @@ func newProfiler(t testing.TB, kind engine.CostKind) *Profiler {
 	return &Profiler{
 		DB:   engine.OpenTPCH(1, 0.05),
 		Kind: kind,
-		Rng:  rand.New(rand.NewSource(1)),
+		Seed: 1,
 	}
 }
 
 func TestProfileBasic(t *testing.T) {
 	p := newProfiler(t, engine.Cardinality)
 	tm := sqltemplate.MustParse("SELECT o_orderkey FROM orders WHERE o_totalprice > {p_1} AND o_orderdate > {p_2}")
-	prof, err := p.Profile(tm, 12)
+	prof, err := p.Profile(context.Background(), tm, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestProfileBasic(t *testing.T) {
 func TestProfileCostsSpanRange(t *testing.T) {
 	p := newProfiler(t, engine.Cardinality)
 	tm := sqltemplate.MustParse("SELECT o_orderkey FROM orders WHERE o_orderkey <= {p_1}")
-	prof, err := p.Profile(tm, 16)
+	prof, err := p.Profile(context.Background(), tm, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestProfileCostsSpanRange(t *testing.T) {
 func TestProfileNoPlaceholders(t *testing.T) {
 	p := newProfiler(t, engine.PlanCost)
 	tm := sqltemplate.MustParse("SELECT COUNT(*) FROM orders")
-	prof, err := p.Profile(tm, 10)
+	prof, err := p.Profile(context.Background(), tm, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestProfileNoPlaceholders(t *testing.T) {
 func TestProfileBrokenTemplate(t *testing.T) {
 	p := newProfiler(t, engine.Cardinality)
 	tm := sqltemplate.MustParse("SELECT nosuchcol FROM orders WHERE o_totalprice > {p_1}")
-	if _, err := p.Profile(tm, 4); err == nil {
+	if _, err := p.Profile(context.Background(), tm, 4); err == nil {
 		t.Fatal("unplannable template must error")
 	}
 }
@@ -158,7 +158,7 @@ func TestIndependentSamplingMode(t *testing.T) {
 	p := newProfiler(t, engine.Cardinality)
 	p.IndependentSampling = true
 	tm := sqltemplate.MustParse("SELECT o_orderkey FROM orders WHERE o_totalprice > {p_1}")
-	prof, err := p.Profile(tm, 8)
+	prof, err := p.Profile(context.Background(), tm, 8)
 	if err != nil || len(prof.Obs) != 8 {
 		t.Fatalf("independent sampling profile: %v", err)
 	}

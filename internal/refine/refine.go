@@ -7,6 +7,7 @@
 package refine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -80,7 +81,7 @@ type phase struct {
 
 // Run refines the template set toward the target distribution, returning
 // the extended set (original templates plus accepted refinements) and stats.
-func (r *Refiner) Run(templates []*workload.TemplateState, target *stats.TargetDistribution) ([]*workload.TemplateState, Stats, error) {
+func (r *Refiner) Run(ctx context.Context, templates []*workload.TemplateState, target *stats.TargetDistribution) ([]*workload.TemplateState, Stats, error) {
 	opts := r.Opts.withDefaults()
 	var st Stats
 	hist := map[int][]llm.RefineAttempt{} // interval -> attempts
@@ -96,6 +97,9 @@ func (r *Refiner) Run(templates []*workload.TemplateState, target *stats.TargetD
 	}
 	for _, ph := range phases {
 		for iter := 0; iter < ph.k; iter++ {
+			if err := ctx.Err(); err != nil {
+				return templates, st, err
+			}
 			st.Iterations++
 			coverage := workload.CountsOf(templates, target.Intervals)
 			var low []int
@@ -107,7 +111,7 @@ func (r *Refiner) Run(templates []*workload.TemplateState, target *stats.TargetD
 			if len(low) == 0 {
 				return templates, st, nil
 			}
-			added, err := r.refineForIntervals(&templates, target, low, ph, hist, &nextID, &st, opts)
+			added, err := r.refineForIntervals(ctx, &templates, target, low, ph, hist, &nextID, &st, opts)
 			if err != nil {
 				return templates, st, err
 			}
@@ -124,7 +128,7 @@ func (r *Refiner) Run(templates []*workload.TemplateState, target *stats.TargetD
 
 // refineForIntervals is Algorithm 2's RefineForIntervals: refine the top-m
 // closest templates toward each low-coverage interval.
-func (r *Refiner) refineForIntervals(templates *[]*workload.TemplateState, target *stats.TargetDistribution, low []int, ph phase, hist map[int][]llm.RefineAttempt, nextID *int, st *Stats, opts Options) (bool, error) {
+func (r *Refiner) refineForIntervals(ctx context.Context, templates *[]*workload.TemplateState, target *stats.TargetDistribution, low []int, ph phase, hist map[int][]llm.RefineAttempt, nextID *int, st *Stats, opts Options) (bool, error) {
 	added := false
 	for _, j := range low {
 		iv := target.Intervals[j]
@@ -142,14 +146,17 @@ func (r *Refiner) refineForIntervals(templates *[]*workload.TemplateState, targe
 				Target:      iv,
 				History:     history,
 			}
-			newSQL, err := r.Oracle.RefineTemplate(req)
+			newSQL, err := r.Oracle.RefineTemplate(ctx, req)
 			if err != nil {
 				return added, fmt.Errorf("refine: oracle failed: %w", err)
 			}
 			st.Generated++
 			curCounts := workload.CountsOf(*templates, target.Intervals)
-			newState, attempt, err := r.profileCandidate(newSQL, t, j, target, curCounts)
+			newState, attempt, err := r.profileCandidate(ctx, newSQL, t, j, target, curCounts)
 			if err != nil {
+				if ctx.Err() != nil {
+					return added, ctx.Err()
+				}
 				st.ProfileFails++
 				hist[j] = append(hist[j], llm.RefineAttempt{TemplateSQL: newSQL})
 				continue
@@ -173,12 +180,12 @@ func (r *Refiner) refineForIntervals(templates *[]*workload.TemplateState, targe
 // profileCandidate profiles a refined template and applies the Equation (4)
 // pruning rule. It returns nil state (no error) when the candidate is
 // pruned.
-func (r *Refiner) profileCandidate(sql string, parent *workload.TemplateState, targetIdx int, target *stats.TargetDistribution, curCounts []int) (*workload.TemplateState, llm.RefineAttempt, error) {
+func (r *Refiner) profileCandidate(ctx context.Context, sql string, parent *workload.TemplateState, targetIdx int, target *stats.TargetDistribution, curCounts []int) (*workload.TemplateState, llm.RefineAttempt, error) {
 	tmpl, err := sqltemplate.Parse(sql)
 	if err != nil {
 		return nil, llm.RefineAttempt{}, err
 	}
-	prof, err := r.Prof.Profile(tmpl, r.Opts.withDefaults().ProfileSamples)
+	prof, err := r.Prof.Profile(ctx, tmpl, r.Opts.withDefaults().ProfileSamples)
 	if err != nil {
 		return nil, llm.RefineAttempt{}, err
 	}

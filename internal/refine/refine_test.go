@@ -1,7 +1,7 @@
 package refine
 
 import (
-	"math/rand"
+	"context"
 	"testing"
 
 	"sqlbarber/internal/engine"
@@ -16,14 +16,14 @@ import (
 func setup(t testing.TB) (*engine.DB, *profiler.Profiler) {
 	t.Helper()
 	db := engine.OpenTPCH(1, 0.2)
-	return db, &profiler.Profiler{DB: db, Kind: engine.PlanCost, Rng: rand.New(rand.NewSource(1))}
+	return db, &profiler.Profiler{DB: db, Kind: engine.PlanCost, Seed: 1}
 }
 
 func profiled(t *testing.T, p *profiler.Profiler, sql string, s spec.Spec, id int) *workload.TemplateState {
 	t.Helper()
 	tm := sqltemplate.MustParse(sql)
 	tm.ID = id
-	prof, err := p.Profile(tm, 8)
+	prof, err := p.Profile(context.Background(), tm, 8)
 	if err != nil {
 		t.Fatalf("profile %q: %v", sql, err)
 	}
@@ -39,7 +39,7 @@ func TestRefinerFillsUncoveredIntervals(t *testing.T) {
 	seed := profiled(t, p, "SELECT n_nationkey FROM nation WHERE n_nationkey > {p_1}", s, 1)
 	target := stats.Uniform(0, 800, 4, 40)
 	r := &Refiner{Oracle: llm.NewSim(llm.Perfect(2)), Prof: p}
-	out, st, err := r.Run([]*workload.TemplateState{seed}, target)
+	out, st, err := r.Run(context.Background(), []*workload.TemplateState{seed}, target)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestRefinerStopsWhenCovered(t *testing.T) {
 	target := stats.Uniform(lo, hi+1, 2, 8)
 	// With tau=0.2 and 4 per interval, one probe per interval suffices.
 	r := &Refiner{Oracle: llm.NewSim(llm.Perfect(3)), Prof: p}
-	out, st, err := r.Run([]*workload.TemplateState{seed}, target)
+	out, st, err := r.Run(context.Background(), []*workload.TemplateState{seed}, target)
 	if err != nil {
 		t.Fatal(err)
 	}

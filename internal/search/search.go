@@ -7,15 +7,25 @@
 // distance-to-interval objective. Utility-ratio tracking (Equation 6), bad
 // combinations, failure counters, and skip intervals keep effort focused on
 // feasible intervals.
+//
+// Parallelism is deterministic by construction: each round's selected
+// templates are processed in fixed-size waves, every wave slot owns a random
+// stream derived from (Seed, StageSearch, round, slot), BO runs record their
+// probes locally, and results merge into the shared distribution in slot
+// order. A `Parallelism: N` run is therefore byte-identical to the
+// sequential one — worker count only changes which goroutine executes a
+// slot, never what the slot computes.
 package search
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"sync"
 
 	"sqlbarber/internal/bo"
 	"sqlbarber/internal/engine"
+	"sqlbarber/internal/prand"
 	"sqlbarber/internal/profiler"
 	"sqlbarber/internal/stats"
 	"sqlbarber/internal/workload"
@@ -43,10 +53,16 @@ type Options struct {
 	Naive bool
 	// MaxRounds is a global safety valve on while-loop rounds (default 500).
 	MaxRounds int
-	// Parallelism runs the per-round template optimizations on this many
-	// goroutines (default 1 = fully deterministic; >1 trades run-to-run
-	// determinism for wall-clock speed on multi-core machines).
+	// Parallelism runs each wave's template optimizations on this many
+	// goroutines (default 1). Results are byte-identical for every value:
+	// wave membership, budgets, and random streams are fixed before the wave
+	// starts, and probe results merge in slot order afterwards.
 	Parallelism int
+	// BatchSize is the wave width: how many selected templates are optimized
+	// with budgets and streams frozen together before the distribution
+	// updates (default 4). It is an algorithm parameter — changing it changes
+	// results — whereas Parallelism is pure scheduling and never does.
+	BatchSize int
 	// Seed drives the optimizer's randomness.
 	Seed int64
 }
@@ -76,6 +92,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxRounds == 0 {
 		o.MaxRounds = 500
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 1
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 4
+	}
 	return o
 }
 
@@ -102,15 +124,24 @@ type comboKey struct {
 	template int
 }
 
-// Run generates queries until the target distribution is filled or no
-// improvable interval remains. Seed queries (e.g. from profiling) are
-// counted into the starting distribution.
-func (s *Searcher) Run(templates []*workload.TemplateState, target *stats.TargetDistribution, seed []workload.Query) ([]workload.Query, Stats) {
+// optResult is the private record of one wave slot's BO run: every probe is
+// staged here and merged into the shared distribution in slot order once the
+// whole wave has finished, so merge order never depends on goroutine timing.
+type optResult struct {
+	costs   []float64
+	obs     []profiler.Observation
+	queries []workload.Query
+}
+
+// Run generates queries until the target distribution is filled, no
+// improvable interval remains, or the context is cancelled (the queries
+// gathered so far are returned either way). Seed queries (e.g. from
+// profiling) are counted into the starting distribution.
+func (s *Searcher) Run(ctx context.Context, templates []*workload.TemplateState, target *stats.TargetDistribution, seed []workload.Query) ([]workload.Query, Stats) {
 	opts := s.Opts.withDefaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
 	var st Stats
 
-	queries := append([]workload.Query(nil), seed...)
+	queries := append(make([]workload.Query, 0, len(seed)), seed...)
 	// Current distribution d counts unique queries per interval.
 	unique := make([]map[string]bool, len(target.Intervals))
 	for i := range unique {
@@ -146,8 +177,11 @@ func (s *Searcher) Run(templates []*workload.TemplateState, target *stats.Target
 		}
 	}
 
-	for st.Rounds < opts.MaxRounds {
+	for st.Rounds < opts.MaxRounds && ctx.Err() == nil {
 		st.Rounds++
+		round := int64(st.Rounds)
+		// Per-round stream for selection decisions (shuffle, weighted sample).
+		roundRng := prand.New(opts.Seed, prand.StageSearch, round)
 		// Find the interval with the largest gap.
 		jStar, gap := -1, 0
 		for j, want := range target.Counts {
@@ -207,52 +241,86 @@ func (s *Searcher) Run(templates []*workload.TemplateState, target *stats.Target
 		if !opts.Naive {
 			sort.SliceStable(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
 		} else {
-			rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+			roundRng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
 		}
-		selected := weightedSample(rng, cands, opts.SampleSize)
+		selected := weightedSample(roundRng, cands, opts.SampleSize)
 
 		improved := false
-		evaluateUtility := func(c scoredTemplate, dOld int, newCosts []float64) {
-			remaining[c.t.Profile.Template.ID] -= float64(len(newCosts))
-			if d[jStar] > dOld {
-				improved = true
+		// Process the selection in fixed-size waves. Budgets and random
+		// streams freeze at wave start; slots run concurrently (bounded by
+		// Parallelism) against private result buffers; the merge below
+		// replays the slots in order.
+		for lo := 0; lo < len(selected); lo += opts.BatchSize {
+			if d[jStar] >= target.Counts[jStar] || ctx.Err() != nil {
+				break
 			}
-			// Utility ratio (Equation 6): fraction of new costs that filled
-			// any still-deficient interval.
-			if len(newCosts) > 0 {
-				useful := 0
-				for _, cost := range newCosts {
-					if j := target.Intervals.Index(cost); j >= 0 && d[j] <= target.Counts[j] {
-						useful++
+			hi := lo + opts.BatchSize
+			if hi > len(selected) {
+				hi = len(selected)
+			}
+			wave := selected[lo:hi]
+			budget := budgetFor(opts, target.Counts[jStar]-d[jStar])
+			results := make([]optResult, len(wave))
+
+			workers := opts.Parallelism
+			if workers > len(wave) {
+				workers = len(wave)
+			}
+			runSlot := func(k int) {
+				slotRng := prand.New(opts.Seed, prand.StageSearch, round, int64(lo+k))
+				results[k] = s.optimizeTemplate(ctx, slotRng, wave[k].t, iv, budget, opts)
+			}
+			if workers <= 1 {
+				for k := range wave {
+					runSlot(k)
+				}
+			} else {
+				var wg sync.WaitGroup
+				idx := make(chan int)
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for k := range idx {
+							runSlot(k)
+						}
+					}()
+				}
+				for k := range wave {
+					idx <- k
+				}
+				close(idx)
+				wg.Wait()
+			}
+
+			// Ordered merge: identical regardless of which goroutine ran
+			// which slot.
+			for k, c := range wave {
+				res := results[k]
+				dOld := d[jStar]
+				st.Evaluations += len(res.costs)
+				c.t.Profile.Obs = append(c.t.Profile.Obs, res.obs...)
+				for _, q := range res.queries {
+					addQuery(q)
+				}
+				remaining[c.t.Profile.Template.ID] -= float64(len(res.costs))
+				if d[jStar] > dOld {
+					improved = true
+				}
+				// Utility ratio (Equation 6): fraction of new costs that
+				// filled any still-deficient interval.
+				if len(res.costs) > 0 {
+					useful := 0
+					for _, cost := range res.costs {
+						if j := target.Intervals.Index(cost); j >= 0 && d[j] <= target.Counts[j] {
+							useful++
+						}
+					}
+					if float64(useful)/float64(len(res.costs)) < opts.UtilityThreshold {
+						bad[comboKey{jStar, c.t.Profile.Template.ID}] = true
+						st.BadCombinations++
 					}
 				}
-				if float64(useful)/float64(len(newCosts)) < opts.UtilityThreshold {
-					bad[comboKey{jStar, c.t.Profile.Template.ID}] = true
-					st.BadCombinations++
-				}
-			}
-		}
-		budgetFor := func(gap int) int {
-			budget := opts.BudgetFactor * gap
-			if budget > opts.MaxBudget {
-				budget = opts.MaxBudget
-			}
-			if budget < 4 {
-				budget = 4
-			}
-			return budget
-		}
-		if opts.Parallelism > 1 {
-			s.runSelectedParallel(selected, iv, jStar, target, d, budgetFor, addQuery, evaluateUtility, opts, &st)
-		} else {
-			for _, c := range selected {
-				if d[jStar] >= target.Counts[jStar] {
-					break
-				}
-				dOld := d[jStar]
-				budget := budgetFor(target.Counts[jStar] - d[jStar])
-				newCosts := s.optimizeTemplate(rng, c.t, iv, budget, opts, addQuery, &st)
-				evaluateUtility(c, dOld, newCosts)
 			}
 		}
 		if !improved {
@@ -269,11 +337,24 @@ func (s *Searcher) Run(templates []*workload.TemplateState, target *stats.Target
 	return queries, st
 }
 
+// budgetFor scales the BO budget to the interval's deficit.
+func budgetFor(opts Options, gap int) int {
+	budget := opts.BudgetFactor * gap
+	if budget > opts.MaxBudget {
+		budget = opts.MaxBudget
+	}
+	if budget < 4 {
+		budget = 4
+	}
+	return budget
+}
+
 // optimizeTemplate runs one BO (or random, for the ablation) search over a
 // template's predicate space, minimizing Equation (5) for the interval.
-// Every evaluated query is recorded via addQuery; the returned slice holds
-// the observed costs.
-func (s *Searcher) optimizeTemplate(rng *rand.Rand, t *workload.TemplateState, iv stats.Interval, budget int, opts Options, addQuery func(workload.Query) bool, st *Stats) []float64 {
+// Probes go through the template's prepared statement when available (one
+// parse at profile time, re-plan per probe) and are staged in the returned
+// optResult; the caller merges them into shared state in slot order.
+func (s *Searcher) optimizeTemplate(ctx context.Context, rng *rand.Rand, t *workload.TemplateState, iv stats.Interval, budget int, opts Options) optResult {
 	space := t.Profile.Space
 	boSpace := space.BOSpace()
 
@@ -295,20 +376,25 @@ func (s *Searcher) optimizeTemplate(rng *rand.Rand, t *workload.TemplateState, i
 		warm = warm[:32]
 	}
 
-	var newCosts []float64
+	var res optResult
 	evaluate := func(raw []float64) (float64, bool) {
-		sql, err := space.Instantiate(raw)
+		vals := space.ValuesFor(raw)
+		sql, err := space.Template.Instantiate(vals)
 		if err != nil {
 			return 0, false
 		}
-		cost, err := s.DB.Cost(sql, s.Kind)
+		var cost float64
+		if t.Profile.Prep != nil {
+			cost, err = t.Profile.Prep.Cost(ctx, vals, s.Kind)
+		} else {
+			cost, err = s.DB.Cost(ctx, sql, s.Kind)
+		}
 		if err != nil {
 			return 0, false
 		}
-		st.Evaluations++
-		newCosts = append(newCosts, cost)
-		t.Profile.Obs = append(t.Profile.Obs, profiler.Observation{Raw: raw, SQL: sql, Cost: cost})
-		addQuery(workload.Query{SQL: sql, Cost: cost, TemplateID: t.Profile.Template.ID})
+		res.costs = append(res.costs, cost)
+		res.obs = append(res.obs, profiler.Observation{Raw: raw, SQL: sql, Cost: cost})
+		res.queries = append(res.queries, workload.Query{SQL: sql, Cost: cost, TemplateID: t.Profile.Template.ID})
 		return objective(cost, iv), true
 	}
 
@@ -320,11 +406,11 @@ func (s *Searcher) optimizeTemplate(rng *rand.Rand, t *workload.TemplateState, i
 			}
 			evaluate(boSpace.Denormalize(x))
 		}
-		return newCosts
+		return res
 	}
 	opt := bo.New(boSpace, rng, bo.Options{InitSamples: 4}, warm)
 	opt.Run(budget, evaluate, nil)
-	return newCosts
+	return res
 }
 
 // objective is Equation (5): 0 inside [cl, cr), otherwise a relative
@@ -352,102 +438,6 @@ func objective(c float64, iv stats.Interval) float64 {
 		m = r
 	}
 	return 1 - m
-}
-
-// runSelectedParallel distributes the selected templates' BO runs over
-// Options.Parallelism goroutines. Shared state (the current distribution,
-// the query pool, utility bookkeeping, stats) is serialized through one
-// mutex; per-template state (profile observations, the optimizer) stays
-// goroutine-local. Run-to-run determinism is traded for wall-clock speed.
-func (s *Searcher) runSelectedParallel(selected []scoredTemplate, iv stats.Interval, jStar int,
-	target *stats.TargetDistribution, d []int, budgetFor func(int) int,
-	addQuery func(workload.Query) bool, evaluateUtility func(scoredTemplate, int, []float64),
-	opts Options, st *Stats) {
-
-	var mu sync.Mutex
-	lockedAdd := func(q workload.Query) bool {
-		mu.Lock()
-		defer mu.Unlock()
-		return addQuery(q)
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Parallelism)
-	for i, c := range selected {
-		mu.Lock()
-		gap := target.Counts[jStar] - d[jStar]
-		dOld := d[jStar]
-		mu.Unlock()
-		if gap <= 0 {
-			break
-		}
-		budget := budgetFor(gap)
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(c scoredTemplate, budget, dOld int, seed int64) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			grng := rand.New(rand.NewSource(seed))
-			var local Stats
-			newCosts := s.optimizeTemplateLocked(&mu, grng, c.t, iv, budget, opts, lockedAdd, &local)
-			mu.Lock()
-			st.Evaluations += local.Evaluations
-			evaluateUtility(c, dOld, newCosts)
-			mu.Unlock()
-		}(c, budget, dOld, opts.Seed^int64(jStar*131+i*7919))
-	}
-	wg.Wait()
-}
-
-// optimizeTemplateLocked is optimizeTemplate with the profile-observation
-// append serialized through mu (the rest of the shared mutation happens
-// inside the already-locked addQuery callback).
-func (s *Searcher) optimizeTemplateLocked(mu *sync.Mutex, rng *rand.Rand, t *workload.TemplateState, iv stats.Interval, budget int, opts Options, addQuery func(workload.Query) bool, st *Stats) []float64 {
-	space := t.Profile.Space
-	boSpace := space.BOSpace()
-	mu.Lock()
-	var warm []bo.Observation
-	for _, obs := range t.Profile.Obs {
-		if obs.Raw == nil {
-			continue
-		}
-		warm = append(warm, bo.Observation{X: boSpace.Normalize(obs.Raw), Y: objective(obs.Cost, iv)})
-	}
-	mu.Unlock()
-	if len(warm) > 32 {
-		sort.SliceStable(warm, func(i, j int) bool { return warm[i].Y < warm[j].Y })
-		warm = warm[:32]
-	}
-	var newCosts []float64
-	evaluate := func(raw []float64) (float64, bool) {
-		sql, err := space.Instantiate(raw)
-		if err != nil {
-			return 0, false
-		}
-		cost, err := s.DB.Cost(sql, s.Kind)
-		if err != nil {
-			return 0, false
-		}
-		st.Evaluations++
-		newCosts = append(newCosts, cost)
-		mu.Lock()
-		t.Profile.Obs = append(t.Profile.Obs, profiler.Observation{Raw: raw, SQL: sql, Cost: cost})
-		mu.Unlock()
-		addQuery(workload.Query{SQL: sql, Cost: cost, TemplateID: t.Profile.Template.ID})
-		return objective(cost, iv), true
-	}
-	if opts.Naive {
-		for i := 0; i < budget; i++ {
-			x := make([]float64, len(boSpace))
-			for dd := range x {
-				x[dd] = rng.Float64()
-			}
-			evaluate(boSpace.Denormalize(x))
-		}
-		return newCosts
-	}
-	opt := bo.New(boSpace, rng, bo.Options{InitSamples: 4}, warm)
-	opt.Run(budget, evaluate, nil)
-	return newCosts
 }
 
 // anyDeficit reports whether a skipped interval still wants queries.

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -15,7 +16,7 @@ import (
 func setup(t testing.TB) (*engine.DB, []*workload.TemplateState) {
 	t.Helper()
 	db := engine.OpenTPCH(1, 0.1)
-	p := &profiler.Profiler{DB: db, Kind: engine.Cardinality, Rng: rand.New(rand.NewSource(1))}
+	p := &profiler.Profiler{DB: db, Kind: engine.Cardinality, Seed: 1}
 	sqls := []string{
 		"SELECT o_orderkey FROM orders WHERE o_orderkey <= {p_1}",
 		"SELECT l_orderkey FROM lineitem WHERE l_orderkey <= {p_1} AND l_quantity <= {p_2}",
@@ -25,7 +26,7 @@ func setup(t testing.TB) (*engine.DB, []*workload.TemplateState) {
 	for i, sql := range sqls {
 		tm := sqltemplate.MustParse(sql)
 		tm.ID = i + 1
-		prof, err := p.Profile(tm, 10)
+		prof, err := p.Profile(context.Background(), tm, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -38,7 +39,7 @@ func TestSearchFillsUniformTarget(t *testing.T) {
 	db, states := setup(t)
 	target := stats.Uniform(0, 1500, 5, 50)
 	s := &Searcher{DB: db, Kind: engine.Cardinality, Opts: Options{Seed: 1}}
-	queries, st := s.Run(states, target, nil)
+	queries, st := s.Run(context.Background(), states, target, nil)
 	sel := workload.SelectWorkload(queries, target)
 	d := workload.Distance(sel, target)
 	if d > 50 {
@@ -56,7 +57,7 @@ func TestSearchSkipsUnreachableIntervals(t *testing.T) {
 	ivs := stats.SplitRange(0, 100000, 2)
 	target := &stats.TargetDistribution{Intervals: ivs, Counts: []int{10, 10}}
 	s := &Searcher{DB: db, Kind: engine.Cardinality, Opts: Options{Seed: 1, MaxRounds: 60}}
-	_, st := s.Run(states, target, nil)
+	_, st := s.Run(context.Background(), states, target, nil)
 	if st.SkippedIntervals == 0 {
 		t.Fatalf("unreachable interval not skipped: %+v", st)
 	}
@@ -70,7 +71,7 @@ func TestSearchSeedsCountedIntoDistribution(t *testing.T) {
 		{SQL: "s3", Cost: 600}, {SQL: "s4", Cost: 700},
 	}
 	s := &Searcher{DB: db, Kind: engine.Cardinality, Opts: Options{Seed: 1, MaxRounds: 5}}
-	_, st := s.Run(states, target, seed)
+	_, st := s.Run(context.Background(), states, target, seed)
 	if st.Evaluations > 20 {
 		t.Fatalf("target was pre-filled by seeds; search still ran %d evals", st.Evaluations)
 	}
@@ -107,7 +108,7 @@ func TestNaiveSearchWorseOrEqualOnHardTarget(t *testing.T) {
 		target := stats.Uniform(0, 1500, 15, 45)
 		s := &Searcher{DB: db, Kind: engine.Cardinality,
 			Opts: Options{Seed: 3, Naive: naive, MaxRounds: 30, MaxBudget: 30}}
-		queries, _ := s.Run(states, target, nil)
+		queries, _ := s.Run(context.Background(), states, target, nil)
 		sel := workload.SelectWorkload(queries, target)
 		return workload.Distance(sel, target)
 	}

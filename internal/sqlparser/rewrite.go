@@ -1,0 +1,72 @@
+package sqlparser
+
+// RewriteExprs rewrites every expression in the statement bottom-up: fn is
+// called with each node after its children have been rewritten, and its
+// return value replaces the node (return the argument unchanged to keep it).
+// Subqueries are rewritten recursively. It is the mutation primitive behind
+// the engine's prepared-template layer, which swaps {p_i} placeholders for
+// mutable literal slots exactly once instead of re-parsing per probe.
+func (s *SelectStmt) RewriteExprs(fn func(Expr) Expr) {
+	var rw func(e Expr) Expr
+	rwSel := func(sub *SelectStmt) {
+		if sub != nil {
+			sub.RewriteExprs(fn)
+		}
+	}
+	rw = func(e Expr) Expr {
+		if e == nil {
+			return nil
+		}
+		switch t := e.(type) {
+		case *BinaryExpr:
+			t.L = rw(t.L)
+			t.R = rw(t.R)
+		case *UnaryExpr:
+			t.X = rw(t.X)
+		case *FuncCall:
+			for i, a := range t.Args {
+				t.Args[i] = rw(a)
+			}
+		case *CaseExpr:
+			for i := range t.Whens {
+				t.Whens[i].Cond = rw(t.Whens[i].Cond)
+				t.Whens[i].Result = rw(t.Whens[i].Result)
+			}
+			t.Else = rw(t.Else)
+		case *InExpr:
+			t.X = rw(t.X)
+			for i, it := range t.List {
+				t.List[i] = rw(it)
+			}
+			rwSel(t.Sub)
+		case *ExistsExpr:
+			rwSel(t.Sub)
+		case *BetweenExpr:
+			t.X = rw(t.X)
+			t.Lo = rw(t.Lo)
+			t.Hi = rw(t.Hi)
+		case *LikeExpr:
+			t.X = rw(t.X)
+			t.Pattern = rw(t.Pattern)
+		case *IsNullExpr:
+			t.X = rw(t.X)
+		case *SubqueryExpr:
+			rwSel(t.Sub)
+		}
+		return fn(e)
+	}
+	for i := range s.Items {
+		s.Items[i].Expr = rw(s.Items[i].Expr)
+	}
+	for i := range s.Joins {
+		s.Joins[i].On = rw(s.Joins[i].On)
+	}
+	s.Where = rw(s.Where)
+	for i, g := range s.GroupBy {
+		s.GroupBy[i] = rw(g)
+	}
+	s.Having = rw(s.Having)
+	for i := range s.OrderBy {
+		s.OrderBy[i].Expr = rw(s.OrderBy[i].Expr)
+	}
+}

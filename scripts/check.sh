@@ -5,8 +5,16 @@
 #   2. barbervet ./...       — SQLBarber's own repo linter (cmd/barbervet):
 #                              unseeded math/rand in internal/, stdout prints
 #                              in library code, mutex copies, discarded
-#                              engine.DB errors
-#   3. go test -race ./...   — the full suite under the race detector
+#                              engine.DB errors, context/goroutine discipline
+#   3. go test -race -shuffle=on ./...
+#                            — the full suite under the race detector with
+#                              shuffled test order, so determinism cannot hide
+#                              behind accidental ordering
+#   4. GOMAXPROCS=2 go test -race ./...
+#                            — a second pass pinned to two OS threads, which
+#                              changes goroutine interleavings enough to shake
+#                              out scheduling-dependent results the default
+#                              pass can miss
 #
 # Run it from anywhere; it changes to the repo root first. Any failure stops
 # the chain with a non-zero exit.
@@ -19,7 +27,10 @@ go vet ./...
 echo "== barbervet ./... =="
 go run ./cmd/barbervet ./...
 
-echo "== go test -race ./... =="
-go test -race ./...
+echo "== go test -race -shuffle=on ./... =="
+go test -race -shuffle=on ./...
+
+echo "== GOMAXPROCS=2 go test -race ./... =="
+GOMAXPROCS=2 go test -race ./...
 
 echo "== all checks passed =="
