@@ -108,6 +108,7 @@ func LintDir(dir string) ([]Finding, error) {
 		return nil, nil
 	}
 	inInternal, inCmd := classifyDir(dir)
+	instrumented := isInstrumentedDir(dir)
 
 	var findings []Finding
 	report := func(pos token.Pos, code, msg string) {
@@ -122,6 +123,9 @@ func LintDir(dir string) ([]Finding, error) {
 			}
 			if !inCmd && pf.file.Name.Name != "main" {
 				checkFmtPrint(pf.file, report)
+			}
+			if instrumented {
+				checkObsDiscipline(pf.file, report)
 			}
 			checkIgnoredDBError(pf.file, report)
 		}
@@ -364,6 +368,76 @@ func checkContextDiscipline(f *ast.File, report func(token.Pos, string, string))
 					"join it with a sync.WaitGroup (or ctx-aware guard) so cancellation cannot leak it")
 		}
 	}
+}
+
+// instrumentedPkgs are the internal packages whose stage timing and counters
+// must flow through internal/obs: timings read the sink clock (span.Now) so
+// golden traces can inject a fake clock, and counters are obs.Counter values
+// adopted by the collector so snapshot totals can never drift from the
+// subsystem's own getters.
+var instrumentedPkgs = map[string]bool{
+	"pipeline": true, "generator": true, "profiler": true,
+	"refine": true, "search": true,
+}
+
+// isInstrumentedDir reports whether the directory lies inside one of the
+// instrumented internal packages. Like classifyDir it looks only at the
+// segments after the innermost testdata so fixtures can emulate placement.
+func isInstrumentedDir(path string) bool {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		abs = path
+	}
+	parts := strings.Split(filepath.ToSlash(abs), "/")
+	for i := len(parts) - 1; i >= 0; i-- {
+		if parts[i] == "testdata" {
+			parts = parts[i+1:]
+			break
+		}
+	}
+	for i, p := range parts {
+		if p == "internal" && i+1 < len(parts) && instrumentedPkgs[parts[i+1]] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkObsDiscipline flags observability bypasses in instrumented packages
+// (R006). Direct time.Now()/time.Since() calls produce timings the trace
+// cannot see and golden-trace tests cannot fake; importing sync/atomic means
+// a counter is being hand-rolled instead of using obs.Counter, whose values
+// the collector adopts by reference.
+func checkObsDiscipline(f *ast.File, report func(token.Pos, string, string)) {
+	if importName(f, "sync/atomic") != "" {
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == "sync/atomic" {
+				report(imp.Pos(), "R006",
+					"instrumented package imports sync/atomic; use obs.Counter so the collector can adopt the counter by reference")
+			}
+		}
+	}
+	timeName := importName(f, "time")
+	if timeName == "" || timeName == "_" {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != timeName || (sel.Sel.Name != "Now" && sel.Sel.Name != "Since") {
+			return true
+		}
+		report(call.Pos(), "R006",
+			timeName+"."+sel.Sel.Name+" bypasses the obs clock in an instrumented package; read time through the span (sp.Now()) so traces and golden tests stay consistent")
+		return true
+	})
 }
 
 // dbErrMethods are engine.DB methods whose last return is an error; calling

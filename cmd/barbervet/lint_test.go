@@ -30,6 +30,65 @@ func TestFixtureTripsEveryRule(t *testing.T) {
 	}
 }
 
+// TestObsFixtureTripsR006 asserts the badobs fixture (which emulates an
+// instrumented internal/pipeline package) produces the expected R006
+// findings: one per direct clock read plus one for the sync/atomic import.
+func TestObsFixtureTripsR006(t *testing.T) {
+	findings, err := LintDir(filepath.Join("testdata", "internal", "pipeline", "badobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r006 int
+	for _, f := range findings {
+		if f.Code == "R006" {
+			r006++
+		} else {
+			t.Errorf("unexpected non-R006 finding: %v", f)
+		}
+		if f.Pos.Filename == "" || f.Pos.Line == 0 {
+			t.Errorf("finding %s has no position", f.Code)
+		}
+	}
+	if r006 != 3 {
+		t.Errorf("R006 fired %d time(s), want 3 (time.Now, time.Since, sync/atomic import): %v", r006, findings)
+	}
+}
+
+// TestObsRuleScopedToInstrumentedPackages asserts R006 stays silent outside
+// the instrumented package set: badpkg sits under internal/ but not under an
+// instrumented package name, and it may use the wall clock freely.
+func TestObsRuleScopedToInstrumentedPackages(t *testing.T) {
+	findings, err := LintDir(filepath.Join("testdata", "internal", "badpkg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Code == "R006" {
+			t.Errorf("R006 fired outside an instrumented package: %v", f)
+		}
+	}
+}
+
+// TestIsInstrumentedDir checks testdata-aware instrumented-package detection.
+func TestIsInstrumentedDir(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"/repo/internal/pipeline", true},
+		{"/repo/internal/search", true},
+		{"/repo/internal/engine", false},
+		{"/repo/cmd/barbervet/testdata/internal/pipeline/badobs", true},
+		{"/repo/cmd/barbervet/testdata/internal/badpkg", false},
+		{"/repo/internal/obs", false},
+	}
+	for _, tc := range cases {
+		if got := isInstrumentedDir(tc.path); got != tc.want {
+			t.Errorf("isInstrumentedDir(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}
+
 // TestLinterIsCleanOnItself asserts barbervet's own sources pass.
 func TestLinterIsCleanOnItself(t *testing.T) {
 	findings, err := LintDir(".")

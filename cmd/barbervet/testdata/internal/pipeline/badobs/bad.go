@@ -1,0 +1,21 @@
+// Package badobs is a lint fixture emulating an instrumented package
+// (internal/pipeline/...) that bypasses the observability layer. Every
+// construct here must trip rule R006.
+package badobs
+
+import (
+	"sync/atomic" // R006: hand-rolled counter instead of obs.Counter
+	"time"
+)
+
+// evals is an ad-hoc counter that the obs collector can never adopt.
+var evals atomic.Int64
+
+// TimeStage measures a stage with the wall clock instead of the span clock,
+// so the duration never reaches the trace and golden tests cannot fake it.
+func TimeStage(stage func()) time.Duration {
+	start := time.Now() // R006
+	stage()
+	evals.Add(1)
+	return time.Since(start) // R006
+}

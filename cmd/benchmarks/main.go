@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7queries|fig7intervals|fig8a|fig8b|table2|analyzer|parallel|all")
+		exp     = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7queries|fig7intervals|fig8a|fig8b|table2|analyzer|parallel|obs|all")
 		scale   = flag.String("scale", "quick", "scale: quick|full")
 		seed    = flag.Int64("seed", 1, "random seed")
 		methods = flag.String("methods", "", "comma-separated method subset (default: all five)")
@@ -146,6 +146,7 @@ func main() {
 		_, err := r.RunPreparedMicrobench(ctx, w, 0)
 		return err
 	})
+	run("obs", func() error { _, err := r.RunObsOverhead(ctx, w); return err })
 }
 
 // figure7Methods reduces to the three-series legend of Figure 7

@@ -13,6 +13,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -22,6 +23,7 @@ import (
 	"sqlbarber/internal/core"
 	"sqlbarber/internal/engine"
 	"sqlbarber/internal/llm"
+	"sqlbarber/internal/obs"
 	"sqlbarber/internal/realworld"
 	"sqlbarber/internal/spec"
 	"sqlbarber/internal/stats"
@@ -46,6 +48,9 @@ func main() {
 		llmURL     = flag.String("llm-url", "", "OpenAI-compatible endpoint; when set, a hosted model replaces the built-in simulated LLM")
 		llmModel   = flag.String("llm-model", "o3-mini", "chat model name for -llm-url")
 		verbose    = flag.Bool("v", false, "print pipeline progress")
+		report     = flag.Bool("report", false, "print a run report (span times, counters, histograms) to stderr")
+		traceOut   = flag.String("trace", "", "write the run's span trace as JSONL to this file")
+		metricsOut = flag.String("metrics", "", "write the metric snapshot in Prometheus text format to this file")
 	)
 	flag.Parse()
 
@@ -109,25 +114,30 @@ func main() {
 		}
 		oracle, ledger = sim, sim.Ledger()
 	}
-	cfg := core.Config{
-		DB:       db,
-		Oracle:   oracle,
-		CostKind: kind,
-		Specs:    specs,
-		Target:   target,
-		Seed:     *seed,
-		Parallel: *parallel,
+	opts := []core.Option{
+		core.WithSeed(*seed),
+		core.WithParallel(*parallel),
+		core.WithCostKind(kind),
+	}
+	var collector *obs.Collector
+	if *report || *traceOut != "" || *metricsOut != "" {
+		collector = obs.NewCollector()
+		opts = append(opts, core.WithObs(collector))
 	}
 	if *verbose {
-		cfg.Progress = func(elapsed time.Duration, dist float64) {
+		opts = append(opts, core.WithProgress(func(elapsed time.Duration, dist float64) {
 			fmt.Fprintf(os.Stderr, "  t=%-12s distance=%.1f\n", elapsed.Round(time.Millisecond), dist)
-		}
+		}))
+	}
+	p, err := core.New(db, oracle, specs, target, opts...)
+	if err != nil {
+		fatal("invalid configuration: %v", err)
 	}
 	// Ctrl-C cancels the pipeline at the next stage boundary; the partial
 	// workload gathered so far is still written out.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	res, err := core.Generate(ctx, cfg)
+	res, err := p.Run(ctx)
 	if err != nil {
 		fatal("generation failed: %v", err)
 	}
@@ -158,6 +168,37 @@ func main() {
 	fmt.Fprintf(os.Stderr, "generated %d queries | wasserstein distance %.2f | %d templates | %d DBMS calls | %s | LLM: %dK tokens $%.2f\n",
 		len(res.Workload), res.Distance, len(res.Templates), res.DBCalls, res.Elapsed.Round(1e6),
 		ledger.TotalTokens()/1000, ledger.CostUSD())
+
+	if collector != nil {
+		if *report {
+			if err := collector.WriteReport(os.Stderr); err != nil {
+				fatal("writing report: %v", err)
+			}
+		}
+		if *traceOut != "" {
+			if err := writeFileWith(*traceOut, collector.WriteJSONL); err != nil {
+				fatal("writing trace: %v", err)
+			}
+		}
+		if *metricsOut != "" {
+			if err := writeFileWith(*metricsOut, collector.WritePrometheus); err != nil {
+				fatal("writing metrics: %v", err)
+			}
+		}
+	}
+}
+
+// writeFileWith creates path and streams fn's output into it.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(format string, args ...any) {

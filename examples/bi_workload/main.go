@@ -29,14 +29,14 @@ func main() {
 	}
 
 	target := stats.Normal(0, 1200, 6, 60, 600, 250)
-	res, err := core.Generate(context.Background(), core.Config{
-		DB:       db,
-		Oracle:   llm.NewSim(llm.SimOptions{Seed: 7}),
-		CostKind: engine.Cardinality,
-		Specs:    specs,
-		Target:   target,
-		Seed:     7,
-	})
+	p, err := core.New(db, llm.NewSim(llm.SimOptions{Seed: 7}), specs, target,
+		core.WithSeed(7),
+		core.WithCostKind(engine.Cardinality),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -38,14 +38,14 @@ func main() {
 		{NumJoins: spec.Int(0), NumPredicates: spec.Int(1), GroupBy: spec.Bool(true)},
 	}
 
-	res, err := core.Generate(context.Background(), core.Config{
-		DB:       db,
-		Oracle:   llm.NewSim(llm.SimOptions{Seed: 99}),
-		CostKind: engine.Cardinality,
-		Specs:    specs,
-		Target:   target,
-		Seed:     99,
-	})
+	p, err := core.New(db, llm.NewSim(llm.SimOptions{Seed: 99}), specs, target,
+		core.WithSeed(99),
+		core.WithCostKind(engine.Cardinality),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -29,15 +29,16 @@ func main() {
 	// 3. Describe the cost distribution the workload must follow.
 	target := stats.Uniform(0, 1500, 6, 100)
 
-	// 4. Generate.
-	res, err := core.Generate(context.Background(), core.Config{
-		DB:       db,
-		Oracle:   llm.NewSim(llm.SimOptions{Seed: 42}),
-		CostKind: engine.Cardinality,
-		Specs:    specs,
-		Target:   target,
-		Seed:     42,
-	})
+	// 4. Generate: New validates everything up front (coded errors), Run
+	// executes the pipeline.
+	p, err := core.New(db, llm.NewSim(llm.SimOptions{Seed: 42}), specs, target,
+		core.WithSeed(42),
+		core.WithCostKind(engine.Cardinality),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

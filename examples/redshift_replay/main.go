@@ -23,14 +23,14 @@ func main() {
 	specs := realworld.RedsetSpecs(21)
 	target := realworld.RedsetCost(0, 2500, 10, 300)
 
-	res, err := core.Generate(context.Background(), core.Config{
-		DB:       db,
-		Oracle:   oracle,
-		CostKind: engine.PlanCost,
-		Specs:    specs,
-		Target:   target,
-		Seed:     21,
-	})
+	p, err := core.New(db, oracle, specs, target,
+		core.WithSeed(21),
+		core.WithCostKind(engine.PlanCost),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

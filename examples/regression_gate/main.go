@@ -24,14 +24,15 @@ func main() {
 	v13 := engine.OpenTPCH(8, 0.3)
 
 	// 1. Generate a frozen, realistic benchmark workload against v13.
-	res, err := core.Generate(context.Background(), core.Config{
-		DB:       v13,
-		Oracle:   llm.NewSim(llm.SimOptions{Seed: 8}),
-		CostKind: engine.PlanCost,
-		Specs:    realworld.RedsetSpecs(8),
-		Target:   realworld.RedsetCost(0, 1500, 8, 200),
-		Seed:     8,
-	})
+	p, err := core.New(v13, llm.NewSim(llm.SimOptions{Seed: 8}),
+		realworld.RedsetSpecs(8), realworld.RedsetCost(0, 1500, 8, 200),
+		core.WithSeed(8),
+		core.WithCostKind(engine.PlanCost),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 
 	"sqlbarber/internal/catalog"
 	"sqlbarber/internal/engine"
+	"sqlbarber/internal/obs"
 	"sqlbarber/internal/profiler"
 	"sqlbarber/internal/sqltemplate"
 	"sqlbarber/internal/stats"
@@ -128,6 +129,7 @@ func (e *Env) Eval(si int, raw []float64) (cost float64, ok bool) {
 		return 0, false
 	}
 	e.evals++
+	obs.FromContext(e.ctx).Count(obs.MBaselineEvals, 1)
 	c, err := e.DB.Cost(e.ctx, sql, e.Kind)
 	if err != nil {
 		return 0, false

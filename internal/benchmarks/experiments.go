@@ -204,37 +204,35 @@ func (r *Runner) RunFigure8Ablation(ctx context.Context, w io.Writer) ([]Ablatio
 	db := r.DB(IMDB)
 	b, _ := ByName("Redset_Cost_Hard")
 	target := b.Target(0, r.Scale.RangeHi, r.Scale.QueryDivisor)
-	variants := []struct {
-		name string
-		mod  func(*core.Config)
-	}{
-		{"SQLBarber", func(c *core.Config) {}},
-		{"No-Refine-Prune", func(c *core.Config) { c.DisableRefine = true }},
-		{"Naive-Search", func(c *core.Config) { c.NaiveSearch = true }},
+	// Each variant is one Ablations value; its String() is the exact label
+	// the paper's legend (and this table) uses.
+	variants := []core.Ablations{
+		{},
+		{DisableRefine: true},
+		{NaiveSearch: true},
 	}
 	fmt.Fprintf(w, "=== Figure 8(b): convergence | IMDB, Redset_Cost, %d queries ===\n", target.Total())
 	var out []AblationSeries
-	for _, v := range variants {
-		cfg := core.Config{
-			DB:       db,
-			Oracle:   llm.NewSim(llm.SimOptions{Seed: r.Seed}),
-			CostKind: engine.PlanCost,
-			Specs:    r.Specs(),
-			Target:   target.Clone(),
-			Seed:     r.Seed,
-		}
-		v.mod(&cfg)
-		res, err := core.Generate(ctx, cfg)
+	for _, a := range variants {
+		p, err := core.New(db, llm.NewSim(llm.SimOptions{Seed: r.Seed}), r.Specs(), target.Clone(),
+			core.WithSeed(r.Seed),
+			core.WithCostKind(engine.PlanCost),
+			core.WithAblations(a),
+		)
 		if err != nil {
 			return out, err
 		}
-		series := AblationSeries{Variant: v.name, Final: res.Distance, E2E: res.Elapsed}
+		res, err := p.Run(ctx)
+		if err != nil {
+			return out, err
+		}
+		series := AblationSeries{Variant: a.String(), Final: res.Distance, E2E: res.Elapsed}
 		for _, p := range res.Trajectory {
 			series.Trajectory = append(series.Trajectory, TrajectoryPoint{p.Elapsed, p.Distance})
 		}
 		out = append(out, series)
 		fmt.Fprintf(w, "%-18s time=%-12s final_distance=%-8.1f dbcalls=%-7d projected@100ms/eval=%s (trajectory: %d points)\n",
-			v.name, res.Elapsed.Round(time.Millisecond), res.Distance, res.DBCalls,
+			a.String(), res.Elapsed.Round(time.Millisecond), res.Distance, res.DBCalls,
 			(time.Duration(res.DBCalls) * 100 * time.Millisecond).Round(time.Second), len(series.Trajectory))
 	}
 	return out, nil
@@ -262,14 +260,14 @@ func (r *Runner) RunTable2(ctx context.Context, w io.Writer) ([]CostRow, error) 
 			return rows, err
 		}
 		oracle := llm.NewSim(llm.SimOptions{Seed: r.Seed})
-		res, err := core.Generate(ctx, core.Config{
-			DB:       db,
-			Oracle:   oracle,
-			CostKind: engine.PlanCost,
-			Specs:    r.Specs(),
-			Target:   b.Target(0, r.Scale.RangeHi, r.Scale.QueryDivisor),
-			Seed:     r.Seed,
-		})
+		p, err := core.New(db, oracle, r.Specs(), b.Target(0, r.Scale.RangeHi, r.Scale.QueryDivisor),
+			core.WithSeed(r.Seed),
+			core.WithCostKind(engine.PlanCost),
+		)
+		if err != nil {
+			return rows, err
+		}
+		res, err := p.Run(ctx)
 		if err != nil {
 			return rows, err
 		}

@@ -60,15 +60,15 @@ func (r *Runner) RunParallelScaling(ctx context.Context, w io.Writer, levels []i
 		db := TPCH.Open(r.Seed, r.Scale.SF)
 		target := stats.Uniform(0, r.Scale.RangeHi, 5, 600/r.Scale.QueryDivisor)
 		start := time.Now()
-		res, err := core.Generate(ctx, core.Config{
-			DB:       db,
-			Oracle:   llm.NewSim(llm.SimOptions{Seed: r.Seed, Latency: latency}),
-			CostKind: engine.Cardinality,
-			Specs:    r.Specs(),
-			Target:   target,
-			Seed:     r.Seed,
-			Parallel: lvl,
-		})
+		p, err := core.New(db, llm.NewSim(llm.SimOptions{Seed: r.Seed, Latency: latency}), r.Specs(), target,
+			core.WithSeed(r.Seed),
+			core.WithCostKind(engine.Cardinality),
+			core.WithParallel(lvl),
+		)
+		if err != nil {
+			return out, err
+		}
+		res, err := p.Run(ctx)
 		if err != nil {
 			return out, err
 		}

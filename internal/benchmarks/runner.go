@@ -153,15 +153,19 @@ func (r *Runner) runMethodOn(ctx context.Context, m Method, b Benchmark, ds Data
 	start := time.Now()
 	switch m {
 	case SQLBarber:
-		out, err := core.Generate(ctx, core.Config{
-			DB:       db,
-			Oracle:   llm.NewSim(llm.SimOptions{Seed: r.Seed}),
-			CostKind: kind,
-			Specs:    r.Specs(),
-			Target:   target,
-			Seed:     r.Seed,
-			Parallel: r.Parallel,
-		})
+		parallel := r.Parallel
+		if parallel < 1 {
+			parallel = 1
+		}
+		p, err := core.New(db, llm.NewSim(llm.SimOptions{Seed: r.Seed}), r.Specs(), target,
+			core.WithSeed(r.Seed),
+			core.WithCostKind(kind),
+			core.WithParallel(parallel),
+		)
+		if err != nil {
+			return res, err
+		}
+		out, err := p.Run(ctx)
 		if err != nil {
 			return res, err
 		}

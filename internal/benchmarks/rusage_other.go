@@ -1,0 +1,9 @@
+//go:build !unix
+
+package benchmarks
+
+import "time"
+
+// processCPUTime is unavailable on this platform; the obs-overhead smoke
+// falls back to wall-clock deltas.
+func processCPUTime() (time.Duration, bool) { return 0, false }

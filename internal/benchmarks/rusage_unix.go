@@ -1,0 +1,20 @@
+//go:build unix
+
+package benchmarks
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPUTime returns the process's cumulative user+system CPU time. The
+// obs-overhead smoke gates on CPU-time deltas because the collector's cost
+// is CPU work (atomic adds, mutex-guarded appends); wall clock on a shared
+// machine mostly measures other tenants.
+func processCPUTime() (time.Duration, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano()), true
+}

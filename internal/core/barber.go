@@ -16,6 +16,15 @@ import (
 // Config describes one workload-generation task.
 type Config = pipeline.Config
 
+// Pipeline is a validated, ready-to-run task built by New.
+type Pipeline = pipeline.Pipeline
+
+// Option configures a Pipeline built by New.
+type Option = pipeline.Option
+
+// Ablations bundles the paper's ablation switches.
+type Ablations = pipeline.Ablations
+
 // ProgressPoint is one sample of the distance-over-time trajectory.
 type ProgressPoint = pipeline.ProgressPoint
 
@@ -24,6 +33,36 @@ type Result = pipeline.Result
 
 // StageTiming records how long one pipeline stage ran.
 type StageTiming = pipeline.StageTiming
+
+// New builds a validated Pipeline; see pipeline.New for the coded errors and
+// the available options.
+var New = pipeline.New
+
+// Functional options, re-exported under their pipeline names.
+var (
+	WithSeed             = pipeline.WithSeed
+	WithParallel         = pipeline.WithParallel
+	WithCostKind         = pipeline.WithCostKind
+	WithAblations        = pipeline.WithAblations
+	WithProfileFraction  = pipeline.WithProfileFraction
+	WithObs              = pipeline.WithObs
+	WithGeneratorOptions = pipeline.WithGeneratorOptions
+	WithRefineOptions    = pipeline.WithRefineOptions
+	WithSearchOptions    = pipeline.WithSearchOptions
+	WithProgress         = pipeline.WithProgress
+)
+
+// Coded constructor errors (match with errors.Is).
+var (
+	ErrNilDB              = pipeline.ErrNilDB
+	ErrNilOracle          = pipeline.ErrNilOracle
+	ErrNoSpecs            = pipeline.ErrNoSpecs
+	ErrNilTarget          = pipeline.ErrNilTarget
+	ErrBadParallel        = pipeline.ErrBadParallel
+	ErrBadProfileFraction = pipeline.ErrBadProfileFraction
+	ErrBadCostKind        = pipeline.ErrBadCostKind
+	ErrNilSink            = pipeline.ErrNilSink
+)
 
 // Generate runs the full SQLBarber pipeline: generate → profile →
 // refine/search → assemble. Cancelling ctx stops work at the next stage (or

@@ -9,12 +9,12 @@ import (
 	"fmt"
 	"os"
 	"regexp"
-	"sync/atomic"
 	"time"
 
 	"sqlbarber/internal/catalog"
 	"sqlbarber/internal/datagen"
 	"sqlbarber/internal/exec"
+	"sqlbarber/internal/obs"
 	"sqlbarber/internal/plan"
 	"sqlbarber/internal/sqlparser"
 	"sqlbarber/internal/storage"
@@ -66,9 +66,13 @@ type DB struct {
 	store *storage.Database
 	plans *planCache
 
-	explainCount  atomic.Int64
-	execCount     atomic.Int64
-	validateCount atomic.Int64
+	// The evaluation counters are obs.Counters so an observability
+	// collector can adopt them directly (BindObs): the exported db_*
+	// metrics and the DB's own budget accounting are the same memory and
+	// can never drift.
+	explainCount  obs.Counter
+	execCount     obs.Counter
+	validateCount obs.Counter
 }
 
 // planCacheSize bounds the ad-hoc plan LRU; templates go through Prepare
@@ -136,6 +140,29 @@ func (db *DB) ResetCounters() {
 	db.explainCount.Store(0)
 	db.execCount.Store(0)
 	db.validateCount.Store(0)
+	db.plans.hits.Store(0)
+	db.plans.misses.Store(0)
+}
+
+// PlanCacheHits reports how many ad-hoc plan lookups were served from the
+// LRU. Scheduling-dependent under parallelism (two workers may race on the
+// same SQL), so obs binds it as volatile.
+func (db *DB) PlanCacheHits() int64 { return db.plans.hits.Load() }
+
+// PlanCacheMisses reports how many ad-hoc plan lookups had to parse+plan.
+func (db *DB) PlanCacheMisses() int64 { return db.plans.misses.Load() }
+
+// BindObs adopts the database's live counters into an observability binder
+// under the canonical db_* metric names. Snapshots read the counters
+// directly, so exported totals always equal ExplainCalls/ExecCalls/
+// ValidateCalls exactly — one source, no drift. The plan-cache pair is
+// bound volatile: cache hits legitimately depend on goroutine scheduling.
+func (db *DB) BindObs(b obs.Binder) {
+	b.BindCounter(obs.MDBExplainCalls, &db.explainCount, false)
+	b.BindCounter(obs.MDBExecCalls, &db.execCount, false)
+	b.BindCounter(obs.MDBValidateCalls, &db.validateCount, false)
+	b.BindCounter(obs.MDBPlanCacheHits, &db.plans.hits, true)
+	b.BindCounter(obs.MDBPlanCacheMisses, &db.plans.misses, true)
 }
 
 // planSQL parses and plans ad-hoc SQL, memoizing successful plans in a

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"sync"
 
+	"sqlbarber/internal/obs"
 	"sqlbarber/internal/plan"
 	"sqlbarber/internal/sqlparser"
 	"sqlbarber/internal/sqltypes"
@@ -129,12 +130,18 @@ func (p *Prepared) Cost(ctx context.Context, vals map[string]sqltypes.Value, kin
 // planCache is a bounded LRU of parsed-and-planned ad-hoc SQL. It caps both
 // entry count and memory: templates dominate probe traffic through Prepared,
 // while repeated ad-hoc statements (validation probes, workload re-scoring)
-// hit the cache instead of re-lexing.
+// hit the cache instead of re-lexing. The hit/miss counters are exported as
+// volatile obs metrics: under parallel runs the LRU's contents depend on
+// goroutine interleaving, so these two counts are legitimately
+// scheduling-dependent and excluded from the deterministic snapshot.
 type planCache struct {
 	mu  sync.Mutex
 	max int
 	ll  *list.List
 	m   map[string]*list.Element
+
+	hits   obs.Counter
+	misses obs.Counter
 }
 
 type planEntry struct {
@@ -151,8 +158,10 @@ func (c *planCache) get(sql string) (*plan.Query, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.m[sql]
 	if !ok {
+		c.misses.Add(1)
 		return nil, false
 	}
+	c.hits.Add(1)
 	c.ll.MoveToFront(el)
 	return el.Value.(*planEntry).q, true
 }

@@ -11,12 +11,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 
 	"sqlbarber/internal/analyzer"
 	"sqlbarber/internal/catalog"
 	"sqlbarber/internal/engine"
 	"sqlbarber/internal/llm"
+	"sqlbarber/internal/obs"
 	"sqlbarber/internal/prand"
 	"sqlbarber/internal/spec"
 	"sqlbarber/internal/sqltemplate"
@@ -210,6 +212,8 @@ func (g *Generator) Generate(ctx context.Context, s spec.Spec) (*Result, error) 
 // oracle, and stat sink of one task, so parallel tasks never share mutable
 // state.
 func (g *Generator) generateOne(ctx context.Context, s spec.Spec, rng *rand.Rand, oracle llm.Oracle, stats *Stats) (*Result, error) {
+	ctx, gsp := obs.StartSpan(ctx, "generate", obs.A("spec", s.Describe()))
+	defer gsp.End()
 	path, err := g.samplePath(rng, s)
 	if err != nil {
 		return nil, err
@@ -228,6 +232,8 @@ func (g *Generator) generateOne(ctx context.Context, s spec.Spec, rng *rand.Rand
 	// implementation had exactly that off-by-one).
 	for attempt := 0; attempt <= g.opts.MaxRewrites; attempt++ {
 		stats.Attempts++
+		gsp.Count(obs.MGenAttempts, 1)
+		asp := gsp.StartSpan("attempt", obs.A("n", strconv.Itoa(attempt)))
 		lastAttempt := attempt == g.opts.MaxRewrites
 		trace := AttemptTrace{Attempt: attempt, Template: sql}
 
@@ -253,14 +259,17 @@ func (g *Generator) generateOne(ctx context.Context, s spec.Spec, rng *rand.Rand
 			violations = analyzer.Hints(specDiags)
 			trace.StaticSpec = true
 			stats.StaticSpecCatches++
+			gsp.Count(obs.MStaticSpecCatches, 1)
 		case useStatic && parseBroken:
 			satisfied = false
 			violations = []string{"template is not valid SQL: " + execDiags[0].Msg}
 			trace.StaticSpec = true
 			stats.StaticSpecCatches++
+			gsp.Count(obs.MStaticSpecCatches, 1)
 		default:
 			satisfied, violations, err = oracle.ValidateSemantics(ctx, sql, s)
 			if err != nil {
+				asp.End()
 				return nil, fmt.Errorf("generator: semantic validation failed: %w", err)
 			}
 			stats.JudgeCalls++
@@ -278,6 +287,7 @@ func (g *Generator) generateOne(ctx context.Context, s spec.Spec, rng *rand.Rand
 		if !satisfied && !lastAttempt && !(useStatic && parseBroken) {
 			fixed, err = oracle.FixSemantics(ctx, sql, s, violations, req)
 			if err != nil {
+				asp.End()
 				return nil, fmt.Errorf("generator: semantic fix failed: %w", err)
 			}
 			stats.FixSemanticsCalls++
@@ -295,6 +305,7 @@ func (g *Generator) generateOne(ctx context.Context, s spec.Spec, rng *rand.Rand
 			}
 			trace.StaticExec = true
 			stats.StaticExecCatches++
+			gsp.Count(obs.MStaticExecCatches, 1)
 		} else {
 			executable, dbmsErr = g.db.ValidateSyntax(sql)
 			stats.SyntaxChecks++
@@ -307,6 +318,7 @@ func (g *Generator) generateOne(ctx context.Context, s spec.Spec, rng *rand.Rand
 		if !executable && !lastAttempt {
 			fixed2, err := oracle.FixExecution(ctx, fixed, dbmsErr, req)
 			if err != nil {
+				asp.End()
 				return nil, fmt.Errorf("generator: execution fix failed: %w", err)
 			}
 			stats.FixExecutionCalls++
@@ -314,6 +326,11 @@ func (g *Generator) generateOne(ctx context.Context, s spec.Spec, rng *rand.Rand
 		}
 
 		res.Trace = append(res.Trace, trace)
+		asp.Annotate(
+			obs.A("codes", obs.JoinCodes(trace.Codes)),
+			obs.A("spec_ok", strconv.FormatBool(trace.SpecOK)),
+			obs.A("syntax_ok", strconv.FormatBool(trace.SyntaxOK)))
+		asp.End()
 		if satisfied && executable {
 			t, perr := sqltemplate.Parse(sql)
 			if perr != nil {
@@ -325,6 +342,8 @@ func (g *Generator) generateOne(ctx context.Context, s spec.Spec, rng *rand.Rand
 			}
 			res.Template = t
 			res.Valid = true
+			gsp.Observe(obs.HGenAttempts, float64(len(res.Trace)))
+			gsp.Annotate(obs.A("valid", "true"))
 			return res, nil
 		}
 		sql = fixed
@@ -334,6 +353,8 @@ func (g *Generator) generateOne(ctx context.Context, s spec.Spec, rng *rand.Rand
 	if t, perr := sqltemplate.Parse(sql); perr == nil {
 		res.Template = t
 	}
+	gsp.Observe(obs.HGenAttempts, float64(len(res.Trace)))
+	gsp.Annotate(obs.A("valid", "false"))
 	return res, nil
 }
 

@@ -14,9 +14,9 @@ package llm
 
 import (
 	"context"
-	"sync/atomic"
 
 	"sqlbarber/internal/catalog"
+	"sqlbarber/internal/obs"
 	"sqlbarber/internal/spec"
 	"sqlbarber/internal/stats"
 )
@@ -90,11 +90,21 @@ const (
 	outputPricePerMTok = 4.40
 )
 
-// Ledger meters token usage and monetary cost across all oracle calls.
+// Metered is implemented by oracles that meter token usage through a
+// Ledger (both SimLLM and HTTPOracle do). The pipeline uses it to bind the
+// ledger's counters into the run's observability snapshot.
+type Metered interface {
+	Ledger() *Ledger
+}
+
+// Ledger meters token usage and monetary cost across all oracle calls. Its
+// counters are obs.Counters so an observability collector can adopt them
+// directly (BindObs): the exported llm_* token metrics and the ledger are
+// then literally the same memory and can never drift.
 type Ledger struct {
-	promptTokens     atomic.Int64
-	completionTokens atomic.Int64
-	calls            atomic.Int64
+	promptTokens     obs.Counter
+	completionTokens obs.Counter
+	calls            obs.Counter
 }
 
 // Record charges one call to the ledger.
@@ -120,6 +130,15 @@ func (l *Ledger) Calls() int64 { return l.calls.Load() }
 func (l *Ledger) CostUSD() float64 {
 	return float64(l.PromptTokens())/1e6*inputPricePerMTok +
 		float64(l.CompletionTokens())/1e6*outputPricePerMTok
+}
+
+// BindObs adopts the ledger's counters into an observability binder under
+// the canonical llm_* metric names. The snapshot reads the live counters,
+// so exported token/call totals always equal the ledger's exactly.
+func (l *Ledger) BindObs(b obs.Binder) {
+	b.BindCounter(obs.MLLMPromptTokens, &l.promptTokens, false)
+	b.BindCounter(obs.MLLMCompletionTokens, &l.completionTokens, false)
+	b.BindCounter(obs.MLLMOracleCalls, &l.calls, false)
 }
 
 // Reset zeroes the ledger.

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"sqlbarber/internal/obs"
 	"sqlbarber/internal/spec"
 )
 
@@ -214,6 +215,7 @@ func ExtractSQL(response string) string {
 
 // GenerateTemplate prompts the model for a fresh template.
 func (o *HTTPOracle) GenerateTemplate(ctx context.Context, req GenerateRequest) (string, error) {
+	obs.FromContext(ctx).Count(obs.MLLMGenerateCalls, 1)
 	resp, err := o.complete(ctx, buildGeneratePrompt(req))
 	if err != nil {
 		return "", err
@@ -231,6 +233,7 @@ type validateJudgment struct {
 // JSON verdict; unparseable verdicts degrade to "not satisfied" with the raw
 // reasoning text as the violation.
 func (o *HTTPOracle) ValidateSemantics(ctx context.Context, templateSQL string, s spec.Spec) (bool, []string, error) {
+	obs.FromContext(ctx).Count(obs.MLLMJudgeCalls, 1)
 	prompt := buildValidatePrompt(templateSQL, s.Describe()) +
 		"\nAnswer with JSON only: {\"satisfied\": bool, \"violations\": [string]}\n"
 	resp, err := o.complete(ctx, prompt)
@@ -257,6 +260,7 @@ func extractJSON(s string) string {
 // FixSemantics asks the model to rewrite the template against the reported
 // violations.
 func (o *HTTPOracle) FixSemantics(ctx context.Context, templateSQL string, s spec.Spec, violations []string, req GenerateRequest) (string, error) {
+	obs.FromContext(ctx).Count(obs.MLLMFixSemanticsCalls, 1)
 	resp, err := o.complete(ctx, buildFixSemanticsPrompt(templateSQL, s.Describe(), violations))
 	if err != nil {
 		return "", err
@@ -266,6 +270,7 @@ func (o *HTTPOracle) FixSemantics(ctx context.Context, templateSQL string, s spe
 
 // FixExecution asks the model to repair a DBMS error.
 func (o *HTTPOracle) FixExecution(ctx context.Context, templateSQL string, dbmsError string, req GenerateRequest) (string, error) {
+	obs.FromContext(ctx).Count(obs.MLLMFixExecutionCalls, 1)
 	resp, err := o.complete(ctx, buildFixExecutionPrompt(templateSQL, dbmsError))
 	if err != nil {
 		return "", err
@@ -275,6 +280,7 @@ func (o *HTTPOracle) FixExecution(ctx context.Context, templateSQL string, dbmsE
 
 // RefineTemplate asks the model for a cost-targeted template variant.
 func (o *HTTPOracle) RefineTemplate(ctx context.Context, req RefineRequest) (string, error) {
+	obs.FromContext(ctx).Count(obs.MLLMRefineCalls, 1)
 	resp, err := o.complete(ctx, buildRefinePrompt(req))
 	if err != nil {
 		return "", err

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sqlbarber/internal/catalog"
+	"sqlbarber/internal/obs"
 	"sqlbarber/internal/prand"
 	"sqlbarber/internal/spec"
 	"sqlbarber/internal/sqltemplate"
@@ -147,6 +148,7 @@ func (s *SimLLM) GenerateTemplate(ctx context.Context, req GenerateRequest) (str
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
+	obs.FromContext(ctx).Count(obs.MLLMGenerateCalls, 1)
 	prompt := buildGeneratePrompt(req)
 	sql := synthesize(synthOptions{
 		schema:      req.Schema,
@@ -166,6 +168,7 @@ func (s *SimLLM) ValidateSemantics(ctx context.Context, templateSQL string, sp s
 	if err := ctx.Err(); err != nil {
 		return false, nil, err
 	}
+	obs.FromContext(ctx).Count(obs.MLLMJudgeCalls, 1)
 	prompt := buildValidatePrompt(templateSQL, sp.Describe())
 	t, err := sqltemplate.Parse(templateSQL)
 	if err != nil {
@@ -194,6 +197,7 @@ func (s *SimLLM) FixSemantics(ctx context.Context, templateSQL string, sp spec.S
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
+	obs.FromContext(ctx).Count(obs.MLLMFixSemanticsCalls, 1)
 	prompt := buildFixSemanticsPrompt(templateSQL, sp.Describe(), violations)
 	success := s.hit(s.opts.FixSuccessRate)
 	sql := synthesize(synthOptions{
@@ -213,6 +217,7 @@ func (s *SimLLM) FixExecution(ctx context.Context, templateSQL string, dbmsError
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
+	obs.FromContext(ctx).Count(obs.MLLMFixExecutionCalls, 1)
 	prompt := buildFixExecutionPrompt(templateSQL, dbmsError)
 	success := s.hit(s.opts.FixSuccessRate)
 	sql := synthesize(synthOptions{
@@ -235,6 +240,7 @@ func (s *SimLLM) RefineTemplate(ctx context.Context, req RefineRequest) (string,
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
+	obs.FromContext(ctx).Count(obs.MLLMRefineCalls, 1)
 	prompt := buildRefinePrompt(req)
 	cur, err := sqltemplate.Parse(req.TemplateSQL)
 	if err != nil {

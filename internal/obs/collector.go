@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultBuckets are the histogram bucket upper bounds used for every
+// histogram metric: powers of two covering the count-valued quantities the
+// pipeline observes (attempts, probes, budgets).
+var DefaultBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// Collector is the concrete Sink: it accumulates trace events and folds
+// metrics into a registry. One Collector observes one run (or one benchmark
+// session); it is safe for concurrent use by any number of goroutines.
+type Collector struct {
+	clock func() time.Time
+
+	mu       sync.Mutex
+	start    time.Time
+	started  bool
+	events   []Event
+	nextSpan int64
+
+	counters map[string]*Counter
+	bound    map[string]boundCounter
+	gauges   map[string]float64
+	hists    map[string]*histogram
+}
+
+type boundCounter struct {
+	c        *Counter
+	volatile bool
+}
+
+type histogram struct {
+	bounds []float64
+	counts []int64 // one per bound, plus +Inf at the end
+	sum    float64
+	n      int64
+}
+
+// Option configures a Collector.
+type Option func(*Collector)
+
+// WithClock replaces the collector's time source (tests inject a
+// deterministic clock so span timings and golden traces are byte-stable).
+func WithClock(fn func() time.Time) Option {
+	return func(c *Collector) { c.clock = fn }
+}
+
+// NewCollector builds an empty collector.
+func NewCollector(opts ...Option) *Collector {
+	c := &Collector{
+		clock:    time.Now,
+		counters: map[string]*Counter{},
+		bound:    map[string]boundCounter{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*histogram{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Now implements Sink.
+func (c *Collector) Now() time.Time { return c.clock() }
+
+// at returns the offset of t from the collector's first observation.
+// Callers hold c.mu.
+func (c *Collector) at(t time.Time) time.Duration {
+	if !c.started {
+		c.start = t
+		c.started = true
+	}
+	return t.Sub(c.start)
+}
+
+func (c *Collector) emit(e Event, t time.Time) {
+	c.mu.Lock()
+	e.At = c.at(t)
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// StartSpan implements Sink; the collector itself acts as the root scope
+// (parent id 0).
+func (c *Collector) StartSpan(name string, attrs ...Attr) Span {
+	return c.startSpan(0, name, attrs)
+}
+
+func (c *Collector) startSpan(parent int64, name string, attrs []Attr) Span {
+	t := c.clock()
+	c.mu.Lock()
+	c.nextSpan++
+	id := c.nextSpan
+	c.events = append(c.events, Event{
+		Kind:   KindSpanStart,
+		At:     c.at(t),
+		Span:   id,
+		Parent: parent,
+		Name:   name,
+		Attrs:  attrs,
+	})
+	c.mu.Unlock()
+	return &span{c: c, id: id, parent: parent, name: name, start: t}
+}
+
+// Count implements Sink.
+func (c *Collector) Count(name string, delta int64) {
+	c.counter(name).Add(delta)
+}
+
+func (c *Collector) counter(name string) *Counter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctr, ok := c.counters[name]
+	if !ok {
+		ctr = &Counter{}
+		c.counters[name] = ctr
+	}
+	return ctr
+}
+
+// Gauge implements Sink (set semantics, last write wins).
+func (c *Collector) Gauge(name string, v float64) {
+	c.mu.Lock()
+	c.gauges[name] = v
+	c.mu.Unlock()
+}
+
+// Observe implements Sink.
+func (c *Collector) Observe(name string, v float64) {
+	c.mu.Lock()
+	h, ok := c.hists[name]
+	if !ok {
+		h = &histogram{bounds: DefaultBuckets, counts: make([]int64, len(DefaultBuckets)+1)}
+		c.hists[name] = h
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	c.mu.Unlock()
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(e Event) { c.emit(e, c.clock()) }
+
+// BindCounter implements Binder: the snapshot will read the externally
+// owned counter's live value under name. Binding the same name again
+// replaces the previous binding.
+func (c *Collector) BindCounter(name string, ctr *Counter, volatile bool) {
+	c.mu.Lock()
+	c.bound[name] = boundCounter{c: ctr, volatile: volatile}
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the recorded trace.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// span is one live Collector span.
+type span struct {
+	c      *Collector
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	extra []Attr
+	ended bool
+}
+
+func (s *span) Now() time.Time { return s.c.clock() }
+func (s *span) StartSpan(name string, attrs ...Attr) Span {
+	return s.c.startSpan(s.id, name, attrs)
+}
+func (s *span) Count(name string, d int64)     { s.c.Count(name, d) }
+func (s *span) Gauge(name string, v float64)   { s.c.Gauge(name, v) }
+func (s *span) Observe(name string, v float64) { s.c.Observe(name, v) }
+func (s *span) Emit(e Event) {
+	e.Span = s.id
+	s.c.emit(e, s.c.clock())
+}
+
+// Annotate attaches completion-time attributes; they ride on the span_end
+// event.
+func (s *span) Annotate(attrs ...Attr) {
+	s.mu.Lock()
+	s.extra = append(s.extra, attrs...)
+	s.mu.Unlock()
+}
+
+// End closes the span, emitting span_end with the measured duration.
+// Ending twice is a no-op.
+func (s *span) End() {
+	t := s.c.clock()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	extra := s.extra
+	s.mu.Unlock()
+	s.c.emit(Event{
+		Kind:   KindSpanEnd,
+		Span:   s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Dur:    t.Sub(s.start),
+		Attrs:  extra,
+	}, t)
+}
+
+// CounterPoint is one counter in a snapshot.
+type CounterPoint struct {
+	Name     string
+	Value    int64
+	Volatile bool
+}
+
+// GaugePoint is one gauge in a snapshot.
+type GaugePoint struct {
+	Name  string
+	Value float64
+}
+
+// HistogramPoint is one histogram in a snapshot. Counts has one entry per
+// bound plus a final +Inf bucket; Sum and Count summarize all observations.
+type HistogramPoint struct {
+	Name   string
+	Bounds []float64
+	Counts []int64
+	Sum    float64
+	Count  int64
+}
+
+// Snapshot is the folded metric state at one instant, with every section
+// sorted by name so renderings are deterministic regardless of registration
+// or scheduling order — the ordered-merge trick applied to metrics.
+type Snapshot struct {
+	Counters   []CounterPoint
+	Gauges     []GaugePoint
+	Histograms []HistogramPoint
+}
+
+// Snapshot folds the current metric state.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var s Snapshot
+	seen := map[string]bool{}
+	for name, ctr := range c.counters {
+		seen[name] = true
+		s.Counters = append(s.Counters, CounterPoint{Name: name, Value: ctr.Load()})
+	}
+	for name, b := range c.bound {
+		if seen[name] {
+			continue
+		}
+		s.Counters = append(s.Counters, CounterPoint{Name: name, Value: b.c.Load(), Volatile: b.volatile})
+	}
+	for name, v := range c.gauges {
+		s.Gauges = append(s.Gauges, GaugePoint{Name: name, Value: v})
+	}
+	for name, h := range c.hists {
+		counts := make([]int64, len(h.counts))
+		copy(counts, h.counts)
+		s.Histograms = append(s.Histograms, HistogramPoint{
+			Name:   name,
+			Bounds: h.bounds,
+			Counts: counts,
+			Sum:    h.sum,
+			Count:  h.n,
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Counter returns the named counter's snapshot value (0 when absent).
+func (s Snapshot) Counter(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's value and whether it was set.
+func (s Snapshot) Gauge(name string) (float64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Stable returns the snapshot without volatile counters: the subset that is
+// deterministic across worker counts and schedules.
+func (s Snapshot) Stable() Snapshot {
+	out := Snapshot{Gauges: s.Gauges, Histograms: s.Histograms}
+	for _, c := range s.Counters {
+		if !c.Volatile {
+			out.Counters = append(out.Counters, c)
+		}
+	}
+	return out
+}

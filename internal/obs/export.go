@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promPrefix namespaces every exported metric.
+const promPrefix = "sqlbarber_"
+
+// WriteJSONL renders the collector's trace as one JSON object per line.
+// Events appear in recording order; offsets (at_us) are relative to the
+// first observation, so traces carry no absolute wall-clock time and diff
+// cleanly. Attributes render as a key-sorted object.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	for _, e := range c.Events() {
+		if err := writeEventJSON(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeEventJSON renders one event. The encoding is hand-rolled (fixed field
+// order, no reflection) so the format is stable and the exporter stays
+// dependency-free.
+func writeEventJSON(w io.Writer, e Event) error {
+	var b strings.Builder
+	b.WriteString(`{"ev":`)
+	b.WriteString(strconv.Quote(e.Kind.String()))
+	fmt.Fprintf(&b, `,"at_us":%d`, e.At.Microseconds())
+	if e.Span != 0 {
+		fmt.Fprintf(&b, `,"span":%d`, e.Span)
+	}
+	if e.Kind == KindSpanStart || e.Kind == KindSpanEnd {
+		fmt.Fprintf(&b, `,"parent":%d`, e.Parent)
+	}
+	if e.Name != "" {
+		b.WriteString(`,"name":`)
+		b.WriteString(strconv.Quote(e.Name))
+	}
+	if e.Value != 0 {
+		b.WriteString(`,"value":`)
+		b.WriteString(formatFloat(e.Value))
+	}
+	if e.Dur != 0 || e.Kind == KindSpanEnd {
+		fmt.Fprintf(&b, `,"dur_us":%d`, e.Dur.Microseconds())
+	}
+	if len(e.Attrs) > 0 {
+		attrs := append([]Attr(nil), e.Attrs...)
+		sort.Slice(attrs, func(i, j int) bool { return attrs[i].Key < attrs[j].Key })
+		b.WriteString(`,"attrs":{`)
+		for i, a := range attrs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Quote(a.Key))
+			b.WriteByte(':')
+			b.WriteString(strconv.Quote(a.Value))
+		}
+		b.WriteByte('}')
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format: counters (with the _total suffix), gauges, and histograms, each
+// name-sorted. The output contains no timestamps — metric values of a
+// seeded run are deterministic, so the rendering is golden-file stable.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		name := promPrefix + c.Name + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		name := promPrefix + g.Name
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		name := promPrefix + h.Name
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum)
+		}
+		cum += h.Counts[len(h.Bounds)]
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(&b, "%s_sum %s\n", name, formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePrometheus folds the current metric state and renders it.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	return c.Snapshot().WritePrometheus(w)
+}
+
+// formatFloat renders a float with the shortest round-trip representation.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -8,6 +8,7 @@ import (
 
 	"sqlbarber/internal/engine"
 	"sqlbarber/internal/llm"
+	"sqlbarber/internal/obs"
 	"sqlbarber/internal/stats"
 )
 
@@ -38,9 +39,12 @@ func runSignature(res *Result) string {
 
 // TestParallelByteIdentical is the repo's determinism contract for the whole
 // pipeline: on both datasets, -parallel 1, 2, and 8 must produce the exact
-// same workload, trajectory, stats, and templates. Worker count is pure
-// scheduling — every task draws from a stream derived from its position, and
-// merges happen in task order.
+// same workload, trajectory, stats, and templates — with and without a live
+// obs collector attached. Worker count is pure scheduling — every task draws
+// from a stream derived from its position, and merges happen in task order —
+// and observation is pure: attaching a collector must never perturb the run.
+// The folded stable metric snapshot must also be identical across worker
+// counts (volatile counters like plan-cache hits are excluded by Stable()).
 func TestParallelByteIdentical(t *testing.T) {
 	datasets := []struct {
 		name string
@@ -51,7 +55,10 @@ func TestParallelByteIdentical(t *testing.T) {
 	}
 	for _, ds := range datasets {
 		t.Run(ds.name, func(t *testing.T) {
-			run := func(parallel int) string {
+			// run executes at the given worker count, optionally observed,
+			// and returns the run signature plus the rendered stable metric
+			// snapshot ("" when unobserved).
+			run := func(parallel int, observed bool) (string, string) {
 				cfg := Config{
 					DB:       ds.open(),
 					Oracle:   llm.NewSim(llm.SimOptions{Seed: 17}),
@@ -61,17 +68,44 @@ func TestParallelByteIdentical(t *testing.T) {
 					Seed:     17,
 					Parallel: parallel,
 				}
+				var collector *obs.Collector
+				if observed {
+					collector = obs.NewCollector()
+					cfg.Obs = collector
+				}
 				res, err := Run(context.Background(), cfg)
 				if err != nil {
-					t.Fatalf("parallel=%d: %v", parallel, err)
+					t.Fatalf("parallel=%d observed=%v: %v", parallel, observed, err)
 				}
-				return runSignature(res)
+				var metrics string
+				if observed {
+					var b strings.Builder
+					if err := collector.Snapshot().Stable().WritePrometheus(&b); err != nil {
+						t.Fatalf("parallel=%d: render stable snapshot: %v", parallel, err)
+					}
+					metrics = b.String()
+				}
+				return runSignature(res), metrics
 			}
-			seq := run(1)
+			seq, _ := run(1, false)
+			seqObserved, seqMetrics := run(1, true)
+			if seqObserved != seq {
+				t.Fatalf("%s: attaching a collector changed the sequential run\n%s",
+					ds.name, firstDiff(seq, seqObserved))
+			}
 			for _, par := range []int{2, 8} {
-				if got := run(par); got != seq {
-					t.Fatalf("%s: -parallel %d diverged from sequential\n--- sequential ---\n%s\n--- parallel %d ---\n%s",
-						ds.name, par, firstDiff(seq, got), par, "")
+				if got, _ := run(par, false); got != seq {
+					t.Fatalf("%s: -parallel %d diverged from sequential\n%s",
+						ds.name, par, firstDiff(seq, got))
+				}
+				got, metrics := run(par, true)
+				if got != seq {
+					t.Fatalf("%s: -parallel %d with collector diverged from sequential\n%s",
+						ds.name, par, firstDiff(seq, got))
+				}
+				if metrics != seqMetrics {
+					t.Fatalf("%s: -parallel %d stable snapshot diverged from sequential\n%s",
+						ds.name, par, firstDiff(seqMetrics, metrics))
 				}
 			}
 		})

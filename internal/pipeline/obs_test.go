@@ -1,0 +1,220 @@
+package pipeline
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/obs"
+	"sqlbarber/internal/stats"
+)
+
+// goldenClock is a deterministic collector clock: each read advances exactly
+// one millisecond, so span timings depend only on the sequence of
+// observations, never on the machine.
+func goldenClock() func() time.Time {
+	base := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	n := 0
+	var mu sync.Mutex
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return base.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+// checkGolden compares got against the named testdata file; UPDATE_GOLDEN=1
+// rewrites the file instead.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with UPDATE_GOLDEN=1 to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Fatalf("%s drifted from golden (rerun with UPDATE_GOLDEN=1 after verifying the change is intended)\n--- got ---\n%s\n--- want ---\n%s",
+			name, clip(got), clip(string(want)))
+	}
+}
+
+func clip(s string) string {
+	const max = 4000
+	if len(s) > max {
+		return s[:max] + "\n…(clipped)"
+	}
+	return s
+}
+
+// TestObsGoldenTraceAndMetrics runs a seeded mini-pipeline with a fake clock
+// and pins both exporters byte-for-byte: the JSONL trace and the Prometheus
+// snapshot of a deterministic run must never drift silently.
+func TestObsGoldenTraceAndMetrics(t *testing.T) {
+	collector := obs.NewCollector(obs.WithClock(goldenClock()))
+	p, err := New(
+		engine.OpenTPCH(21, 0.05),
+		llm.NewSim(llm.SimOptions{Seed: 21}),
+		smallSpecs(),
+		stats.Uniform(0, 1200, 4, 30),
+		WithSeed(21),
+		WithCostKind(engine.Cardinality),
+		WithObs(collector),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	var trace strings.Builder
+	if err := collector.WriteJSONL(&trace); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_trace.jsonl", trace.String())
+
+	var metrics strings.Builder
+	if err := collector.WritePrometheus(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_metrics.prom", metrics.String())
+}
+
+// TestObsCountersMatchSubsystemGetters is the anti-drift regression: the
+// collector adopts the exact counter objects the engine and the LLM ledger
+// own, so snapshot totals must equal the subsystems' own getters and the
+// Result's evaluation count — not approximately, identically.
+func TestObsCountersMatchSubsystemGetters(t *testing.T) {
+	collector := obs.NewCollector()
+	db := engine.OpenTPCH(23, 0.05)
+	oracle := llm.NewSim(llm.SimOptions{Seed: 23})
+	p, err := New(db, oracle, smallSpecs(), stats.Uniform(0, 1200, 4, 30),
+		WithSeed(23), WithCostKind(engine.Cardinality), WithObs(collector))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := collector.Snapshot()
+	if got, want := snap.Counter(obs.MDBExplainCalls), db.ExplainCalls(); got != want {
+		t.Errorf("%s = %d, DB reports %d", obs.MDBExplainCalls, got, want)
+	}
+	if got, want := snap.Counter(obs.MDBExecCalls), db.ExecCalls(); got != want {
+		t.Errorf("%s = %d, DB reports %d", obs.MDBExecCalls, got, want)
+	}
+	if got, want := snap.Counter(obs.MDBValidateCalls), db.ValidateCalls(); got != want {
+		t.Errorf("%s = %d, DB reports %d", obs.MDBValidateCalls, got, want)
+	}
+	if got, want := snap.Counter(obs.MDBPlanCacheHits), db.PlanCacheHits(); got != want {
+		t.Errorf("%s = %d, DB reports %d", obs.MDBPlanCacheHits, got, want)
+	}
+	// Result.DBCalls reads the same counters (fresh DB, so no baseline).
+	if got, want := res.DBCalls, snap.Counter(obs.MDBExplainCalls)+snap.Counter(obs.MDBExecCalls); got != want {
+		t.Errorf("Result.DBCalls = %d, snapshot explain+exec = %d", got, want)
+	}
+	l := oracle.Ledger()
+	if got, want := snap.Counter(obs.MLLMPromptTokens), l.PromptTokens(); got != want {
+		t.Errorf("%s = %d, ledger reports %d", obs.MLLMPromptTokens, got, want)
+	}
+	if got, want := snap.Counter(obs.MLLMCompletionTokens), l.CompletionTokens(); got != want {
+		t.Errorf("%s = %d, ledger reports %d", obs.MLLMCompletionTokens, got, want)
+	}
+	if got, want := snap.Counter(obs.MLLMOracleCalls), l.Calls(); got != want {
+		t.Errorf("%s = %d, ledger reports %d", obs.MLLMOracleCalls, got, want)
+	}
+	// The per-kind call split must sum to the ledger total.
+	var kinds int64
+	for _, m := range []string{
+		obs.MLLMGenerateCalls, obs.MLLMJudgeCalls, obs.MLLMFixSemanticsCalls,
+		obs.MLLMFixExecutionCalls, obs.MLLMRefineCalls,
+	} {
+		kinds += snap.Counter(m)
+	}
+	if kinds != l.Calls() {
+		t.Errorf("per-kind LLM calls sum to %d, ledger reports %d", kinds, l.Calls())
+	}
+	// Run-level gauges are set at assembly.
+	if v, ok := snap.Gauge(obs.GWorkloadQueries); !ok || int(v) != len(res.Workload) {
+		t.Errorf("%s = %v,%v; workload has %d queries", obs.GWorkloadQueries, v, ok, len(res.Workload))
+	}
+	if v, ok := snap.Gauge(obs.GWorkloadDistance); !ok || v != res.Distance {
+		t.Errorf("%s = %v,%v; result distance %g", obs.GWorkloadDistance, v, ok, res.Distance)
+	}
+	if v, ok := snap.Gauge(obs.GLLMCostUSD); !ok || v != l.CostUSD() {
+		t.Errorf("%s = %v,%v; ledger cost %g", obs.GLLMCostUSD, v, ok, l.CostUSD())
+	}
+}
+
+// TestProgressShimReplaysEventStream asserts the deprecated Config.Progress
+// callback still fires, fed from KindProgress events, and agrees with the
+// Result trajectory.
+func TestProgressShimReplaysEventStream(t *testing.T) {
+	cfg := smallConfig(25)
+	var mu sync.Mutex
+	var dists []float64
+	cfg.Progress = func(elapsed time.Duration, distance float64) {
+		mu.Lock()
+		dists = append(dists, distance)
+		mu.Unlock()
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dists) == 0 {
+		t.Fatal("deprecated Progress callback never fired")
+	}
+	if len(dists) != len(res.Trajectory) {
+		t.Fatalf("callback fired %d times, trajectory has %d points", len(dists), len(res.Trajectory))
+	}
+	for i, p := range res.Trajectory {
+		if dists[i] != p.Distance {
+			t.Fatalf("sample %d: callback saw %g, trajectory has %g", i, dists[i], p.Distance)
+		}
+	}
+}
+
+// TestProgressAndObsCompose asserts the shim tees progress into the callback
+// while the collector still records everything.
+func TestProgressAndObsCompose(t *testing.T) {
+	collector := obs.NewCollector()
+	cfg := smallConfig(27)
+	cfg.Obs = collector
+	var calls int
+	var mu sync.Mutex
+	cfg.Progress = func(time.Duration, float64) { mu.Lock(); calls++; mu.Unlock() }
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("Progress callback starved when a collector is attached")
+	}
+	var progress int
+	for _, e := range collector.Events() {
+		if e.Kind == obs.KindProgress {
+			progress++
+		}
+	}
+	if progress != calls {
+		t.Fatalf("collector saw %d progress events, callback fired %d times", progress, calls)
+	}
+}

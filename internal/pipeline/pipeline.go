@@ -10,11 +10,14 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"sqlbarber/internal/engine"
 	"sqlbarber/internal/generator"
 	"sqlbarber/internal/llm"
+	"sqlbarber/internal/obs"
 	"sqlbarber/internal/profiler"
 	"sqlbarber/internal/refine"
 	"sqlbarber/internal/search"
@@ -22,6 +25,48 @@ import (
 	"sqlbarber/internal/stats"
 	"sqlbarber/internal/workload"
 )
+
+// Ablations bundles the paper's ablation switches (§6.3, Figure 8) into one
+// value. The zero value is the full SQLBarber method; String renders the
+// label benchmark tables use.
+type Ablations struct {
+	// DisableRefine turns off Algorithm 2 (the "No-Refine-Prune" ablation).
+	DisableRefine bool
+	// NaiveSearch replaces BO with random search (the "Naive-Search"
+	// ablation).
+	NaiveSearch bool
+	// IndependentSampling disables LHS during profiling (ablation).
+	IndependentSampling bool
+}
+
+// String names the configuration the way the paper's figures label it:
+// "SQLBarber" for the full method, otherwise the enabled ablations joined
+// with "+".
+func (a Ablations) String() string {
+	if a == (Ablations{}) {
+		return "SQLBarber"
+	}
+	var parts []string
+	if a.DisableRefine {
+		parts = append(parts, "No-Refine-Prune")
+	}
+	if a.NaiveSearch {
+		parts = append(parts, "Naive-Search")
+	}
+	if a.IndependentSampling {
+		parts = append(parts, "Independent-Sampling")
+	}
+	return strings.Join(parts, "+")
+}
+
+// merge folds the deprecated per-field switches into the struct (either
+// spelling enables an ablation, so old configurations keep working).
+func (a Ablations) merge(disableRefine, naiveSearch, independent bool) Ablations {
+	a.DisableRefine = a.DisableRefine || disableRefine
+	a.NaiveSearch = a.NaiveSearch || naiveSearch
+	a.IndependentSampling = a.IndependentSampling || independent
+	return a
+}
 
 // Config describes one workload-generation task.
 type Config struct {
@@ -51,12 +96,22 @@ type Config struct {
 	// requested query count (§5.1; default 0.15).
 	ProfileFraction float64
 
-	// DisableRefine turns off Algorithm 2 (the "No-Refine-Prune" ablation).
+	// Ablations selects which paper ablations to run. The zero value is the
+	// full method.
+	Ablations Ablations
+
+	// DisableRefine turns off Algorithm 2.
+	//
+	// Deprecated: set Ablations.DisableRefine. Either spelling works; they
+	// are OR-merged at Run.
 	DisableRefine bool
-	// NaiveSearch replaces BO with random search (the "Naive-Search"
-	// ablation).
+	// NaiveSearch replaces BO with random search.
+	//
+	// Deprecated: set Ablations.NaiveSearch.
 	NaiveSearch bool
-	// IndependentSampling disables LHS during profiling (ablation).
+	// IndependentSampling disables LHS during profiling.
+	//
+	// Deprecated: set Ablations.IndependentSampling.
 	IndependentSampling bool
 
 	// GenOpts, RefineOpts, SearchOpts override component defaults.
@@ -64,8 +119,17 @@ type Config struct {
 	RefineOpts refine.Options
 	SearchOpts search.Options
 
+	// Obs receives the run's trace and metrics (spans, counters, gauges,
+	// histograms). Nil means obs.Nop: observation is pure, so attaching a
+	// sink never changes the generated workload.
+	Obs obs.Sink
+
 	// Progress, when non-nil, receives the distance trajectory while the
 	// predicate search runs.
+	//
+	// Deprecated: attach an obs sink and watch obs.KindProgress events
+	// (obs.OnEvent adapts a callback). This field is kept working through
+	// exactly that shim.
 	Progress func(elapsed time.Duration, distance float64)
 }
 
@@ -118,6 +182,11 @@ type RunState struct {
 	Cfg   Config
 	Start time.Time
 	Res   *Result
+
+	// Sink is the run's observability scope (the root "run" span, or
+	// obs.Nop). Stages read time through it — never time.Now directly — so a
+	// test-injected clock governs every recorded duration.
+	Sink obs.Sink
 
 	// Gen is the §4 generator (built by the generate stage).
 	Gen *generator.Generator
@@ -179,23 +248,59 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Parallel <= 0 {
 		cfg.Parallel = 1
 	}
+	cfg.Ablations = cfg.Ablations.merge(cfg.DisableRefine, cfg.NaiveSearch, cfg.IndependentSampling)
+
+	sink := cfg.Obs
+	if sink == nil {
+		sink = obs.Nop
+	}
+	// Adopt the subsystem-owned counters into the metric snapshot before any
+	// wrapping: the Binder assertion matches the Collector itself, not the
+	// tee the Progress shim adds. Binding the same memory the subsystems
+	// mutate is what makes snapshot totals and DB/ledger getters identical
+	// by construction.
+	if b, ok := sink.(obs.Binder); ok {
+		cfg.DB.BindObs(b)
+		if m, ok := cfg.Oracle.(llm.Metered); ok {
+			m.Ledger().BindObs(b)
+		}
+	}
+	if cfg.Progress != nil {
+		fn := cfg.Progress
+		sink = obs.OnEvent(sink, func(e obs.Event) {
+			if e.Kind == obs.KindProgress {
+				fn(e.Dur, e.Value)
+			}
+		})
+	}
+
+	ctx, runSpan := obs.StartSpan(obs.NewContext(ctx, sink), "run",
+		obs.A("parallel", strconv.Itoa(cfg.Parallel)),
+		obs.A("ablations", cfg.Ablations.String()),
+		obs.A("specs", strconv.Itoa(len(cfg.Specs))))
+	defer runSpan.End()
+
 	rs := &RunState{
 		Cfg:           cfg,
-		Start:         time.Now(),
+		Sink:          runSpan,
+		Start:         runSpan.Now(),
 		Res:           &Result{},
 		startCalls:    cfg.DB.ExplainCalls() + cfg.DB.ExecCalls(),
 		seenTemplates: map[int]bool{},
 	}
 	for _, st := range Stages() {
-		t0 := time.Now()
-		err := st.Run(ctx, rs)
-		rs.Res.StageTimings = append(rs.Res.StageTimings, StageTiming{Stage: st.Name(), Elapsed: time.Since(t0)})
+		stageCtx, sp := obs.StartSpan(ctx, "stage:"+st.Name())
+		t0 := sp.Now()
+		err := st.Run(stageCtx, rs)
+		rs.Res.StageTimings = append(rs.Res.StageTimings, StageTiming{Stage: st.Name(), Elapsed: sp.Now().Sub(t0)})
+		sp.End()
 		if err != nil {
 			if ctx.Err() != nil {
 				rs.Res.Partial = true
 				rs.Res.CancelledStage = st.Name()
 				break
 			}
+			runSpan.Annotate(obs.A("error", err.Error()))
 			return nil, err
 		}
 		if ctx.Err() != nil {
@@ -204,9 +309,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			break
 		}
 	}
-	t0 := time.Now()
+	_, sp := obs.StartSpan(ctx, "stage:assemble")
+	t0 := sp.Now()
 	assemble(rs)
-	rs.Res.StageTimings = append(rs.Res.StageTimings, StageTiming{Stage: "assemble", Elapsed: time.Since(t0)})
+	rs.Res.StageTimings = append(rs.Res.StageTimings, StageTiming{Stage: "assemble", Elapsed: sp.Now().Sub(t0)})
+	sp.End()
+	if rs.Res.Partial {
+		runSpan.Annotate(obs.A("cancelled_stage", rs.Res.CancelledStage))
+	}
 	return rs.Res, nil
 }
 
@@ -218,7 +328,17 @@ func assemble(rs *RunState) {
 	res.Templates = rs.States
 	res.Workload = workload.SelectWorkload(rs.Queries, rs.Cfg.Target)
 	res.Distance = workload.Distance(res.Workload, rs.Cfg.Target)
-	res.Elapsed = time.Since(rs.Start)
+	res.Elapsed = rs.Sink.Now().Sub(rs.Start)
 	res.DBCalls = rs.Cfg.DB.ExplainCalls() + rs.Cfg.DB.ExecCalls() - rs.startCalls
 	res.Trajectory = append(res.Trajectory, ProgressPoint{Elapsed: res.Elapsed, Distance: res.Distance})
+	// The final trajectory sample flows through the event stream too, so the
+	// deprecated Progress shim replays the complete trajectory and trace
+	// consumers see the achieved distance without reading the Result.
+	rs.Sink.Emit(obs.Event{Kind: obs.KindProgress, Name: "distance", Value: res.Distance, Dur: res.Elapsed})
+
+	rs.Sink.Gauge(obs.GWorkloadQueries, float64(len(res.Workload)))
+	rs.Sink.Gauge(obs.GWorkloadDistance, res.Distance)
+	if m, ok := rs.Cfg.Oracle.(llm.Metered); ok {
+		rs.Sink.Gauge(obs.GLLMCostUSD, m.Ledger().CostUSD())
+	}
 }

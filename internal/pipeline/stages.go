@@ -4,9 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"time"
 
 	"sqlbarber/internal/generator"
+	"sqlbarber/internal/obs"
 	"sqlbarber/internal/profiler"
 	"sqlbarber/internal/refine"
 	"sqlbarber/internal/search"
@@ -55,7 +55,7 @@ func (profileStage) Run(ctx context.Context, rs *RunState) error {
 		DB:                  cfg.DB,
 		Kind:                cfg.CostKind,
 		Seed:                cfg.Seed + 1,
-		IndependentSampling: cfg.IndependentSampling,
+		IndependentSampling: cfg.Ablations.IndependentSampling,
 	}
 	var valid []*generator.Result
 	for _, gr := range rs.Res.GenResults {
@@ -149,15 +149,16 @@ func (refineSearchStage) Run(ctx context.Context, rs *RunState) error {
 	if searchOpts.Parallelism == 0 {
 		searchOpts.Parallelism = cfg.Parallel
 	}
-	searchOpts.Naive = searchOpts.Naive || cfg.NaiveSearch
+	searchOpts.Naive = searchOpts.Naive || cfg.Ablations.NaiveSearch
 	ref := &refine.Refiner{Oracle: cfg.Oracle, Prof: rs.Prof, Opts: cfg.RefineOpts}
+	sink := obs.FromContext(ctx)
 
 	const maxRounds = 5
 	for round := 0; round < maxRounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if !cfg.DisableRefine {
+		if !cfg.Ablations.DisableRefine {
 			var rstats refine.Stats
 			var err error
 			rs.States, rstats, err = ref.Run(ctx, rs.States, cfg.Target)
@@ -176,11 +177,11 @@ func (refineSearchStage) Run(ctx context.Context, rs *RunState) error {
 		srch.Progress = func(qs []workload.Query) {
 			sel := workload.SelectWorkload(qs, cfg.Target)
 			dist := workload.Distance(sel, cfg.Target)
-			pt := ProgressPoint{Elapsed: time.Since(rs.Start), Distance: dist}
+			pt := ProgressPoint{Elapsed: sink.Now().Sub(rs.Start), Distance: dist}
 			res.Trajectory = append(res.Trajectory, pt)
-			if cfg.Progress != nil {
-				cfg.Progress(pt.Elapsed, pt.Distance)
-			}
+			// The progress event doubles as the deprecated Config.Progress
+			// callback: Run's obs.OnEvent shim replays it to the function.
+			sink.Emit(obs.Event{Kind: obs.KindProgress, Name: "distance", Value: pt.Distance, Dur: pt.Elapsed})
 		}
 		var sstats search.Stats
 		rs.Queries, sstats = srch.Run(ctx, rs.States, cfg.Target, rs.Queries)

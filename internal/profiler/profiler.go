@@ -8,9 +8,11 @@ package profiler
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"sqlbarber/internal/bo"
 	"sqlbarber/internal/engine"
+	"sqlbarber/internal/obs"
 	"sqlbarber/internal/prand"
 	"sqlbarber/internal/sqltemplate"
 	"sqlbarber/internal/sqltypes"
@@ -169,6 +171,8 @@ type Profiler struct {
 // statement. Templates whose queries fail to plan return an error and should
 // be discarded by the caller.
 func (p *Profiler) Profile(ctx context.Context, t *sqltemplate.Template, n int) (*Profile, error) {
+	ctx, sp := obs.StartSpan(ctx, "profile", obs.A("template", strconv.Itoa(t.ID)))
+	defer sp.End()
 	bindings, err := t.BindPlaceholders(p.DB.Schema())
 	if err != nil {
 		return nil, err
@@ -184,6 +188,7 @@ func (p *Profiler) Profile(ctx context.Context, t *sqltemplate.Template, n int) 
 		if err != nil {
 			return nil, err
 		}
+		sp.Observe(obs.HProfileProbes, 1)
 		return &Profile{
 			Template: t,
 			Space:    &SearchSpace{Template: t},
@@ -217,5 +222,7 @@ func (p *Profiler) Profile(ctx context.Context, t *sqltemplate.Template, n int) 
 		}
 		prof.Obs = append(prof.Obs, Observation{Raw: raw, SQL: sql, Cost: cost})
 	}
+	sp.Observe(obs.HProfileProbes, float64(len(prof.Obs)))
+	sp.Annotate(obs.A("probes", strconv.Itoa(len(prof.Obs))))
 	return prof, nil
 }

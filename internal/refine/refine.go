@@ -10,8 +10,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"sqlbarber/internal/llm"
+	"sqlbarber/internal/obs"
 	"sqlbarber/internal/profiler"
 	"sqlbarber/internal/sqltemplate"
 	"sqlbarber/internal/stats"
@@ -82,6 +84,8 @@ type phase struct {
 // Run refines the template set toward the target distribution, returning
 // the extended set (original templates plus accepted refinements) and stats.
 func (r *Refiner) Run(ctx context.Context, templates []*workload.TemplateState, target *stats.TargetDistribution) ([]*workload.TemplateState, Stats, error) {
+	ctx, rsp := obs.StartSpan(ctx, "refine")
+	defer rsp.End()
 	opts := r.Opts.withDefaults()
 	var st Stats
 	hist := map[int][]llm.RefineAttempt{} // interval -> attempts
@@ -101,6 +105,8 @@ func (r *Refiner) Run(ctx context.Context, templates []*workload.TemplateState, 
 				return templates, st, err
 			}
 			st.Iterations++
+			rsp.Count(obs.MRefineIterations, 1)
+			isp := rsp.StartSpan("refine:iteration", obs.A("iter", strconv.Itoa(iter)))
 			coverage := workload.CountsOf(templates, target.Intervals)
 			var low []int
 			for j, want := range target.Counts {
@@ -109,9 +115,12 @@ func (r *Refiner) Run(ctx context.Context, templates []*workload.TemplateState, 
 				}
 			}
 			if len(low) == 0 {
+				isp.End()
 				return templates, st, nil
 			}
+			isp.Annotate(obs.A("low_intervals", strconv.Itoa(len(low))))
 			added, err := r.refineForIntervals(ctx, &templates, target, low, ph, hist, &nextID, &st, opts)
+			isp.End()
 			if err != nil {
 				return templates, st, err
 			}
@@ -129,6 +138,7 @@ func (r *Refiner) Run(ctx context.Context, templates []*workload.TemplateState, 
 // refineForIntervals is Algorithm 2's RefineForIntervals: refine the top-m
 // closest templates toward each low-coverage interval.
 func (r *Refiner) refineForIntervals(ctx context.Context, templates *[]*workload.TemplateState, target *stats.TargetDistribution, low []int, ph phase, hist map[int][]llm.RefineAttempt, nextID *int, st *Stats, opts Options) (bool, error) {
+	sink := obs.FromContext(ctx)
 	added := false
 	for _, j := range low {
 		iv := target.Intervals[j]
@@ -151,6 +161,7 @@ func (r *Refiner) refineForIntervals(ctx context.Context, templates *[]*workload
 				return added, fmt.Errorf("refine: oracle failed: %w", err)
 			}
 			st.Generated++
+			sink.Count(obs.MRefineGenerated, 1)
 			curCounts := workload.CountsOf(*templates, target.Intervals)
 			newState, attempt, err := r.profileCandidate(ctx, newSQL, t, j, target, curCounts)
 			if err != nil {
@@ -158,6 +169,7 @@ func (r *Refiner) refineForIntervals(ctx context.Context, templates *[]*workload
 					return added, ctx.Err()
 				}
 				st.ProfileFails++
+				sink.Count(obs.MRefineProfileFails, 1)
 				hist[j] = append(hist[j], llm.RefineAttempt{TemplateSQL: newSQL})
 				continue
 			}
@@ -167,6 +179,7 @@ func (r *Refiner) refineForIntervals(ctx context.Context, templates *[]*workload
 				newState.Profile.Template.ID = *nextID
 				*templates = append(*templates, newState)
 				st.Accepted++
+				sink.Count(obs.MRefineAccepted, 1)
 				added = true
 				if st.Accepted >= opts.MaxNewTemplates {
 					return added, nil

@@ -21,10 +21,12 @@ import (
 	"context"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 
 	"sqlbarber/internal/bo"
 	"sqlbarber/internal/engine"
+	"sqlbarber/internal/obs"
 	"sqlbarber/internal/prand"
 	"sqlbarber/internal/profiler"
 	"sqlbarber/internal/stats"
@@ -138,6 +140,8 @@ type optResult struct {
 // gathered so far are returned either way). Seed queries (e.g. from
 // profiling) are counted into the starting distribution.
 func (s *Searcher) Run(ctx context.Context, templates []*workload.TemplateState, target *stats.TargetDistribution, seed []workload.Query) ([]workload.Query, Stats) {
+	ctx, ssp := obs.StartSpan(ctx, "search")
+	defer ssp.End()
 	opts := s.Opts.withDefaults()
 	var st Stats
 
@@ -179,6 +183,8 @@ func (s *Searcher) Run(ctx context.Context, templates []*workload.TemplateState,
 
 	for st.Rounds < opts.MaxRounds && ctx.Err() == nil {
 		st.Rounds++
+		ssp.Count(obs.MSearchRounds, 1)
+		rsp := ssp.StartSpan("search:round", obs.A("round", strconv.Itoa(st.Rounds)))
 		round := int64(st.Rounds)
 		// Per-round stream for selection decisions (shuffle, weighted sample).
 		roundRng := prand.New(opts.Seed, prand.StageSearch, round)
@@ -202,11 +208,15 @@ func (s *Searcher) Run(ctx context.Context, templates []*workload.TemplateState,
 				skip = map[int]bool{}
 				failures = map[int]int{}
 				revivals++
+				rsp.Annotate(obs.A("outcome", "revival"))
+				rsp.End()
 				continue
 			}
+			rsp.End()
 			break
 		}
 		iv := target.Intervals[jStar]
+		rsp.Annotate(obs.A("interval", strconv.Itoa(jStar)))
 
 		// Rank templates by closeness and filter (Algorithm 3 lines 8-12).
 		// The Naive-Search ablation skips the closeness machinery entirely:
@@ -236,6 +246,9 @@ func (s *Searcher) Run(ctx context.Context, templates []*workload.TemplateState,
 		if len(cands) == 0 {
 			skip[jStar] = true
 			st.SkippedIntervals++
+			ssp.Count(obs.MSearchSkipped, 1)
+			rsp.Annotate(obs.A("outcome", "no-candidates"))
+			rsp.End()
 			continue
 		}
 		if !opts.Naive {
@@ -266,9 +279,10 @@ func (s *Searcher) Run(ctx context.Context, templates []*workload.TemplateState,
 			if workers > len(wave) {
 				workers = len(wave)
 			}
+			waveCtx := obs.NewContext(ctx, rsp)
 			runSlot := func(k int) {
 				slotRng := prand.New(opts.Seed, prand.StageSearch, round, int64(lo+k))
-				results[k] = s.optimizeTemplate(ctx, slotRng, wave[k].t, iv, budget, opts)
+				results[k] = s.optimizeTemplate(waveCtx, slotRng, wave[k].t, iv, budget, opts)
 			}
 			if workers <= 1 {
 				for k := range wave {
@@ -299,6 +313,7 @@ func (s *Searcher) Run(ctx context.Context, templates []*workload.TemplateState,
 				res := results[k]
 				dOld := d[jStar]
 				st.Evaluations += len(res.costs)
+				ssp.Count(obs.MSearchEvals, int64(len(res.costs)))
 				c.t.Profile.Obs = append(c.t.Profile.Obs, res.obs...)
 				for _, q := range res.queries {
 					addQuery(q)
@@ -319,6 +334,7 @@ func (s *Searcher) Run(ctx context.Context, templates []*workload.TemplateState,
 					if float64(useful)/float64(len(res.costs)) < opts.UtilityThreshold {
 						bad[comboKey{jStar, c.t.Profile.Template.ID}] = true
 						st.BadCombinations++
+						ssp.Count(obs.MSearchBadCombos, 1)
 					}
 				}
 			}
@@ -328,8 +344,10 @@ func (s *Searcher) Run(ctx context.Context, templates []*workload.TemplateState,
 			if failures[jStar] >= opts.MaxFailures {
 				skip[jStar] = true
 				st.SkippedIntervals++
+				ssp.Count(obs.MSearchSkipped, 1)
 			}
 		}
+		rsp.End()
 		if s.Progress != nil {
 			s.Progress(queries)
 		}
@@ -355,19 +373,24 @@ func budgetFor(opts Options, gap int) int {
 // parse at profile time, re-plan per probe) and are staged in the returned
 // optResult; the caller merges them into shared state in slot order.
 func (s *Searcher) optimizeTemplate(ctx context.Context, rng *rand.Rand, t *workload.TemplateState, iv stats.Interval, budget int, opts Options) optResult {
+	sp := obs.FromContext(ctx).StartSpan("search:slot",
+		obs.A("template", strconv.Itoa(t.Profile.Template.ID)),
+		obs.A("budget", strconv.Itoa(budget)))
+	defer sp.End()
+	sp.Observe(obs.HSearchBudget, float64(budget))
 	space := t.Profile.Space
 	boSpace := space.BOSpace()
 
 	// Warm start: re-score the template's historical observations under the
 	// current interval (no DBMS calls needed — costs are already known).
 	var warm []bo.Observation
-	for _, obs := range t.Profile.Obs {
-		if obs.Raw == nil {
+	for _, ob := range t.Profile.Obs {
+		if ob.Raw == nil {
 			continue
 		}
 		warm = append(warm, bo.Observation{
-			X: boSpace.Normalize(obs.Raw),
-			Y: objective(obs.Cost, iv),
+			X: boSpace.Normalize(ob.Raw),
+			Y: objective(ob.Cost, iv),
 		})
 	}
 	if len(warm) > 32 {

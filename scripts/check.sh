@@ -15,6 +15,18 @@
 #                              changes goroutine interleavings enough to shake
 #                              out scheduling-dependent results the default
 #                              pass can miss
+#   5. cmd/benchmarks -exp obs
+#                            — the observability overhead smoke: runs the
+#                              pipeline with and without a live collector,
+#                              fails if the workloads differ byte-for-byte or
+#                              collector CPU overhead exceeds 3%. The gate
+#                              measures process CPU time (not wall clock) and
+#                              takes the minimum over alternating paired
+#                              rounds, but process-lifetime placement bias
+#                              (CPU affinity, NUMA) on busy shared machines
+#                              can still skew one process, so the step retries
+#                              in a fresh process up to 3 times; a real
+#                              regression fails all attempts
 #
 # Run it from anywhere; it changes to the repo root first. Any failure stops
 # the chain with a non-zero exit.
@@ -32,5 +44,19 @@ go test -race -shuffle=on ./...
 
 echo "== GOMAXPROCS=2 go test -race ./... =="
 GOMAXPROCS=2 go test -race ./...
+
+echo "== cmd/benchmarks -exp obs (observability overhead smoke) =="
+obs_ok=0
+for attempt in 1 2 3; do
+  if go run ./cmd/benchmarks -exp obs; then
+    obs_ok=1
+    break
+  fi
+  echo "obs smoke attempt ${attempt} failed; retrying in a fresh process" >&2
+done
+if [ "${obs_ok}" -ne 1 ]; then
+  echo "obs smoke failed 3 consecutive attempts — treating as a real regression" >&2
+  exit 1
+fi
 
 echo "== all checks passed =="
