@@ -54,6 +54,28 @@ func TestObsFixtureTripsR006(t *testing.T) {
 	}
 }
 
+// TestProfilerFixtureTripsR006 asserts R006 also covers newly instrumented
+// files outside internal/pipeline: the badbatch fixture emulates an
+// internal/profiler file that wall-clocks a batched probe sweep and
+// hand-rolls its probe counter.
+func TestProfilerFixtureTripsR006(t *testing.T) {
+	findings, err := LintDir(filepath.Join("testdata", "internal", "profiler", "badbatch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r006 int
+	for _, f := range findings {
+		if f.Code == "R006" {
+			r006++
+		} else {
+			t.Errorf("unexpected non-R006 finding: %v", f)
+		}
+	}
+	if r006 != 3 {
+		t.Errorf("R006 fired %d time(s), want 3 (time.Now, time.Since, sync/atomic import): %v", r006, findings)
+	}
+}
+
 // TestObsRuleScopedToInstrumentedPackages asserts R006 stays silent outside
 // the instrumented package set: badpkg sits under internal/ but not under an
 // instrumented package name, and it may use the wall clock freely.
@@ -79,6 +101,7 @@ func TestIsInstrumentedDir(t *testing.T) {
 		{"/repo/internal/search", true},
 		{"/repo/internal/engine", false},
 		{"/repo/cmd/barbervet/testdata/internal/pipeline/badobs", true},
+		{"/repo/cmd/barbervet/testdata/internal/profiler/badbatch", true},
 		{"/repo/cmd/barbervet/testdata/internal/badpkg", false},
 		{"/repo/internal/obs", false},
 	}

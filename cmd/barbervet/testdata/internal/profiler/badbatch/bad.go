@@ -1,0 +1,25 @@
+// Package badbatch is a lint fixture emulating an instrumented package
+// (internal/profiler/...) that times a batched probe sweep with the wall
+// clock and hand-rolls its probe counter — the tempting shortcuts when
+// wiring CostBatch-style sweeps. Every construct here must trip rule R006.
+package badbatch
+
+import (
+	"sync/atomic" // R006: hand-rolled probe counter instead of obs.Counter
+	"time"
+)
+
+// probes can never be adopted by the obs collector, so snapshot totals
+// would drift from the subsystem's own accounting.
+var probes atomic.Int64
+
+// SweepDuration times a CostBatch-style sweep with the wall clock instead
+// of the span clock, so golden-trace tests cannot fake the timing.
+func SweepDuration(batch func(i int) float64, n int) time.Duration {
+	start := time.Now() // R006
+	for i := 0; i < n; i++ {
+		batch(i)
+		probes.Add(1)
+	}
+	return time.Since(start) // R006
+}

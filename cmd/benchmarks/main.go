@@ -23,11 +23,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7queries|fig7intervals|fig8a|fig8b|table2|analyzer|parallel|obs|all")
-		scale   = flag.String("scale", "quick", "scale: quick|full")
-		seed    = flag.Int64("seed", 1, "random seed")
-		methods = flag.String("methods", "", "comma-separated method subset (default: all five)")
-		csvDir  = flag.String("csvdir", "", "when set, also write plot-ready CSV files to this directory")
+		exp       = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7queries|fig7intervals|fig8a|fig8b|table2|analyzer|parallel|probe|obs|all")
+		scale     = flag.String("scale", "quick", "scale: quick|full")
+		seed      = flag.Int64("seed", 1, "random seed")
+		methods   = flag.String("methods", "", "comma-separated method subset (default: all five)")
+		csvDir    = flag.String("csvdir", "", "when set, also write plot-ready CSV files to this directory")
+		probeJSON = flag.String("probejson", "BENCH_probe.json", "where -exp probe writes its JSON result (empty to skip)")
+		probes    = flag.Int("probes", 0, "probes per template per arm for -exp probe (0 = default)")
 	)
 	flag.Parse()
 	if *csvDir != "" {
@@ -146,6 +148,7 @@ func main() {
 		_, err := r.RunPreparedMicrobench(ctx, w, 0)
 		return err
 	})
+	run("probe", func() error { _, err := r.RunProbeBench(ctx, w, *probeJSON, *probes); return err })
 	run("obs", func() error { _, err := r.RunObsOverhead(ctx, w); return err })
 }
 

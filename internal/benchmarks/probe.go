@@ -1,0 +1,253 @@
+package benchmarks
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/prand"
+	"sqlbarber/internal/sqltypes"
+)
+
+// probeTemplate is one templated statement in the probe microbenchmark's
+// workload mix, with a deterministic per-probe value schedule.
+type probeTemplate struct {
+	Name string
+	SQL  string
+	// vals derives the probe-i binding from a private prand stream, so the
+	// schedule is identical across arms, goroutine counts, and runs.
+	vals func(seed int64, i int) map[string]sqltypes.Value
+}
+
+// probeTemplates is the benchmark's workload mix: a filtered aggregate, a
+// join with filters on both sides, and a range predicate — the shapes §5.1
+// profiling sweeps and §5.3 BO waves probe in bulk.
+var probeTemplates = []probeTemplate{
+	{
+		Name: "lineitem-agg",
+		SQL: "SELECT l_returnflag, SUM(l_extendedprice) FROM lineitem " +
+			"WHERE l_quantity >= {p_1} AND l_extendedprice < {p_2} GROUP BY l_returnflag",
+		vals: func(seed int64, i int) map[string]sqltypes.Value {
+			rng := prand.New(seed, prand.StageProfile, int64(i))
+			return map[string]sqltypes.Value{
+				"p_1": sqltypes.NewInt(1 + rng.Int63n(50)),
+				"p_2": sqltypes.NewFloat(100 + rng.Float64()*90000),
+			}
+		},
+	},
+	{
+		Name: "orders-join",
+		SQL: "SELECT o.o_orderpriority, COUNT(*) FROM orders AS o " +
+			"JOIN customer AS c ON o.o_custkey = c.c_custkey " +
+			"WHERE o.o_totalprice > {p_total} AND c.c_acctbal < {p_bal} " +
+			"GROUP BY o.o_orderpriority",
+		vals: func(seed int64, i int) map[string]sqltypes.Value {
+			rng := prand.New(seed, prand.StageOracle, int64(i))
+			return map[string]sqltypes.Value{
+				"p_total": sqltypes.NewFloat(1000 + rng.Float64()*400000),
+				"p_bal":   sqltypes.NewFloat(-500 + rng.Float64()*9000),
+			}
+		},
+	},
+	{
+		Name: "lineitem-range",
+		SQL: "SELECT l_shipmode, COUNT(*) FROM lineitem " +
+			"WHERE l_shipdate BETWEEN {p_lo} AND {p_hi} AND l_discount <= {p_disc} " +
+			"GROUP BY l_shipmode",
+		vals: func(seed int64, i int) map[string]sqltypes.Value {
+			rng := prand.New(seed, prand.StageSearch, int64(i))
+			lo := 19920101 + rng.Int63n(30000)
+			return map[string]sqltypes.Value{
+				"p_lo":   sqltypes.NewInt(lo),
+				"p_hi":   sqltypes.NewInt(lo + 10000),
+				"p_disc": sqltypes.NewFloat(rng.Float64() * 0.1),
+			}
+		},
+	},
+}
+
+// ProbePoint is one (goroutines, arm timings) row of the probe experiment.
+type ProbePoint struct {
+	Goroutines     int     `json:"goroutines"`
+	ReplanNS       int64   `json:"replan_ns"`
+	CompiledNS     int64   `json:"compiled_ns"`
+	ReplanPerSec   float64 `json:"replan_probes_per_sec"`
+	CompiledPerSec float64 `json:"compiled_probes_per_sec"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// ProbeBenchResult is the JSON artifact -exp probe writes (BENCH_probe.json).
+type ProbeBenchResult struct {
+	Probes    int          `json:"probes_per_arm"`
+	Templates int          `json:"templates"`
+	Hash      string       `json:"probe_hash"`
+	Points    []ProbePoint `json:"points"`
+}
+
+// probeHash fingerprints a full probe sweep's costs in schedule order, the
+// same way workloadHash fingerprints a workload: any cost divergence between
+// arms or goroutine counts changes the hash.
+func probeHash(costs []float64) string {
+	h := sha256.New()
+	for _, c := range costs {
+		fmt.Fprintf(h, "%.9g\n", c)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// probeSchedule precomputes the full deterministic binding schedule,
+// indexed [probe][template]. Generating the bindings outside the timed
+// region keeps both arms' measurements about probe serving, not about
+// drawing random values.
+func probeSchedule(seed int64, probes int) [][]map[string]sqltypes.Value {
+	sched := make([][]map[string]sqltypes.Value, probes)
+	for i := range sched {
+		row := make([]map[string]sqltypes.Value, len(probeTemplates))
+		for t, tmpl := range probeTemplates {
+			row[t] = tmpl.vals(seed, i)
+		}
+		sched[i] = row
+	}
+	return sched
+}
+
+// runProbeArm executes the probe schedule across g goroutines, each owning a
+// contiguous slice of the probe index range, writing costs into fixed slots
+// so the result is schedule-ordered regardless of interleaving. cost is the
+// per-probe call under test (compiled estimate or re-plan baseline).
+func runProbeArm(ctx context.Context, g int, sched [][]map[string]sqltypes.Value,
+	cost func(ctx context.Context, t int, vals map[string]sqltypes.Value) (float64, error)) ([]float64, time.Duration, error) {
+	probes := len(sched)
+	costs := make([]float64, probes*len(probeTemplates))
+	errs := make([]error, g)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		lo := w * probes / g
+		hi := (w + 1) * probes / g
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				for t := range probeTemplates {
+					c, err := cost(ctx, t, sched[i][t])
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					costs[i*len(probeTemplates)+t] = c
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return costs, elapsed, nil
+}
+
+// RunProbeBench benchmarks compiled parametric probing (Prepared.Cost:
+// lock-free EstimateWith through the compiled skeleton) against the
+// pre-compilation baseline (Prepared.CostReplan: assign literal slots under a
+// mutex and re-run the full planner) at several goroutine counts. Both arms
+// run the identical deterministic probe schedule over a three-template TPC-H
+// mix; the benchmark verifies bit-identical costs (per probe and via a sweep
+// hash), identical DBMS-evaluation counter movement, and that the compiled
+// arm wins at every level. When jsonPath is non-empty the result table is
+// also written there as JSON (BENCH_probe.json).
+func (r *Runner) RunProbeBench(ctx context.Context, w io.Writer, jsonPath string, probes int) (*ProbeBenchResult, error) {
+	if probes <= 0 {
+		probes = 2000
+	}
+	db := TPCH.Open(r.Seed, r.Scale.SF)
+	preps := make([]*engine.Prepared, len(probeTemplates))
+	for i, tmpl := range probeTemplates {
+		p, err := db.Prepare(tmpl.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("benchmarks: probe template %s: %w", tmpl.Name, err)
+		}
+		preps[i] = p
+	}
+	compiled := func(ctx context.Context, t int, vals map[string]sqltypes.Value) (float64, error) {
+		return preps[t].Cost(ctx, vals, engine.Cardinality)
+	}
+	replan := func(ctx context.Context, t int, vals map[string]sqltypes.Value) (float64, error) {
+		return preps[t].CostReplan(ctx, vals, engine.Cardinality)
+	}
+
+	res := &ProbeBenchResult{Probes: probes * len(probeTemplates), Templates: len(probeTemplates)}
+	sched := probeSchedule(r.Seed, probes)
+	fmt.Fprintf(w, "=== Probe microbenchmark | %d templates x %d probes on TPC-H sf=%.1f ===\n",
+		len(probeTemplates), probes, r.Scale.SF)
+	for _, g := range []int{1, 2, 8} {
+		before := db.ExplainCalls()
+		replanCosts, replanTime, err := runProbeArm(ctx, g, sched, replan)
+		if err != nil {
+			return nil, err
+		}
+		replanCalls := db.ExplainCalls() - before
+		before = db.ExplainCalls()
+		compiledCosts, compiledTime, err := runProbeArm(ctx, g, sched, compiled)
+		if err != nil {
+			return nil, err
+		}
+		compiledCalls := db.ExplainCalls() - before
+		if compiledCalls != replanCalls {
+			return nil, fmt.Errorf("benchmarks: probe counter parity broken at g=%d: compiled moved explain_calls by %d, replan by %d",
+				g, compiledCalls, replanCalls)
+		}
+		for i := range replanCosts {
+			if compiledCosts[i] != replanCosts[i] {
+				return nil, fmt.Errorf("benchmarks: probe cost diverged at g=%d index %d: compiled %.9g != replan %.9g",
+					g, i, compiledCosts[i], replanCosts[i])
+			}
+		}
+		hash := probeHash(compiledCosts)
+		if res.Hash == "" {
+			res.Hash = hash
+		} else if hash != res.Hash {
+			return nil, fmt.Errorf("benchmarks: probe hash drifted at g=%d: %s != %s", g, hash, res.Hash)
+		}
+		total := float64(probes * len(probeTemplates))
+		pt := ProbePoint{
+			Goroutines:     g,
+			ReplanNS:       replanTime.Nanoseconds(),
+			CompiledNS:     compiledTime.Nanoseconds(),
+			ReplanPerSec:   total / replanTime.Seconds(),
+			CompiledPerSec: total / compiledTime.Seconds(),
+		}
+		pt.Speedup = pt.CompiledPerSec / pt.ReplanPerSec
+		res.Points = append(res.Points, pt)
+		fmt.Fprintf(w, "goroutines=%-3d replan=%-10.0f probes/s  compiled=%-10.0f probes/s  speedup=%.2fx\n",
+			g, pt.ReplanPerSec, pt.CompiledPerSec, pt.Speedup)
+	}
+	fmt.Fprintf(w, "all arms bit-identical: probe hash %s, counter parity held\n", res.Hash)
+	for _, pt := range res.Points {
+		if pt.Speedup <= 1 {
+			return nil, fmt.Errorf("benchmarks: compiled probing did not beat re-planning at g=%d (%.2fx)",
+				pt.Goroutines, pt.Speedup)
+		}
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return res, nil
+}

@@ -122,6 +122,21 @@ func (o *Optimizer) Observe(x []float64, y float64) {
 	o.obs = append(o.obs, Observation{X: append([]float64(nil), x...), Y: y})
 }
 
+// TakeInit hands the caller the pending LHS initialization design and clears
+// it, so the init wave can be evaluated as one batch (Prepared.CostBatch)
+// instead of point by point through Run. The design was drawn in New, and
+// evaluation consumes no optimizer randomness, so
+//
+//	init := o.TakeInit(); «evaluate batch»; o.Observe each; o.Run(budget-len(init), ...)
+//
+// is observation-for-observation identical to o.Run(budget, ...) with the
+// init points drained through Suggest.
+func (o *Optimizer) TakeInit() [][]float64 {
+	init := o.init
+	o.init = nil
+	return init
+}
+
 // Observations returns all recorded evaluations.
 func (o *Optimizer) Observations() []Observation { return o.obs }
 

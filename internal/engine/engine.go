@@ -73,15 +73,25 @@ type DB struct {
 	explainCount  obs.Counter
 	execCount     obs.Counter
 	validateCount obs.Counter
+	// preparedProbes counts cost probes served through compiled templates
+	// (Prepared.Cost/CostBatch); preparedBatches counts CostBatch calls.
+	// Probe schedules are seed-deterministic, so both are stable metrics.
+	preparedProbes  obs.Counter
+	preparedBatches obs.Counter
 }
 
-// planCacheSize bounds the ad-hoc plan LRU; templates go through Prepare
-// instead, so this only needs to absorb repeated validation/re-scoring SQL.
-const planCacheSize = 256
+// planCacheSize bounds the ad-hoc plan LRU's entry count; templates go
+// through Prepare instead, so this only needs to absorb repeated
+// validation/re-scoring SQL. planCacheMaxBytes additionally caps the cache's
+// approximate memory footprint (see entryBytes).
+const (
+	planCacheSize     = 256
+	planCacheMaxBytes = 4 << 20 // 4 MiB
+)
 
 // Open wraps a loaded storage database.
 func Open(store *storage.Database) *DB {
-	return &DB{store: store, plans: newPlanCache(planCacheSize)}
+	return &DB{store: store, plans: newPlanCache(planCacheSize, planCacheMaxBytes)}
 }
 
 // OpenTPCH opens the TPC-H-shaped evaluation database.
@@ -135,11 +145,21 @@ func (db *DB) ExecCalls() int64 { return db.execCount.Load() }
 // tries to avoid spending.
 func (db *DB) ValidateCalls() int64 { return db.validateCount.Load() }
 
+// PreparedProbes reports how many cost probes were served through compiled
+// templates (lock-free on the estimate path). Deterministic for a given
+// seed and configuration.
+func (db *DB) PreparedProbes() int64 { return db.preparedProbes.Load() }
+
+// PreparedBatches reports how many Prepared.CostBatch sweeps were served.
+func (db *DB) PreparedBatches() int64 { return db.preparedBatches.Load() }
+
 // ResetCounters zeroes the instrumentation counters.
 func (db *DB) ResetCounters() {
 	db.explainCount.Store(0)
 	db.execCount.Store(0)
 	db.validateCount.Store(0)
+	db.preparedProbes.Store(0)
+	db.preparedBatches.Store(0)
 	db.plans.hits.Store(0)
 	db.plans.misses.Store(0)
 }
@@ -163,6 +183,8 @@ func (db *DB) BindObs(b obs.Binder) {
 	b.BindCounter(obs.MDBValidateCalls, &db.validateCount, false)
 	b.BindCounter(obs.MDBPlanCacheHits, &db.plans.hits, true)
 	b.BindCounter(obs.MDBPlanCacheMisses, &db.plans.misses, true)
+	b.BindCounter(obs.MDBPreparedProbes, &db.preparedProbes, false)
+	b.BindCounter(obs.MDBPreparedBatches, &db.preparedBatches, false)
 }
 
 // planSQL parses and plans ad-hoc SQL, memoizing successful plans in a

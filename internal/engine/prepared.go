@@ -4,8 +4,6 @@ import (
 	"container/list"
 	"context"
 	"fmt"
-	"sort"
-	"strconv"
 	"sync"
 
 	"sqlbarber/internal/obs"
@@ -14,177 +12,276 @@ import (
 	"sqlbarber/internal/sqltypes"
 )
 
-// Prepared is a template whose SQL has been lexed, parsed, and
-// placeholder-bound exactly once. Each {name} placeholder in the template is
-// replaced by a mutable literal slot inside the retained AST; Cost assigns
-// the probe values into those slots and re-plans, skipping the per-probe
-// lex/parse that dominates profiling and BO search when costs are
-// optimizer-estimated. Safe for concurrent use (slot assignment + plan is
-// serialized by an internal mutex; independent Prepared values do not
-// contend).
+// Prepared is a template whose SQL has been lexed, parsed, placeholder-
+// bound, and plan-compiled exactly once (plan.Compile). Optimizer-estimated
+// probes (Cardinality, PlanCost) run through the compiled parametric plan:
+// values are passed into the immutable skeleton, nothing is locked, nothing
+// is mutated, and any number of goroutines may probe one Prepared
+// concurrently — this is the hot path of §5.1 profiling sweeps and §5.3 BO
+// search. Measured probes (ExecTimeMS, RowsProcessed) must materialize the
+// values into the AST and execute, so they serialize on an internal mutex;
+// they never block the estimate path.
 type Prepared struct {
 	db   *DB
 	text string
+	cq   *plan.CompiledQuery
 
-	mu    sync.Mutex
-	stmt  *sqlparser.SelectStmt
-	slots map[string][]*sqlparser.Literal
-	names []string // sorted placeholder names, for deterministic errors
+	// execMu serializes measured-kind probes and CostReplan: both assign
+	// values into the compiled statement's literal slots and re-plan or
+	// execute the bound AST.
+	execMu sync.Mutex
 }
 
-// Prepare parses the template SQL once and binds every placeholder to a
-// mutable literal slot. The rewritten statement is validated by planning it
-// with neutral zero values, so defects surface at prepare time rather than
-// on the first probe. Prepare itself performs no DBMS evaluation — the
-// explain/execute counters are untouched, preserving call parity with the
-// re-parse path.
+// Prepare parses and plan-compiles the template SQL once. The compiled
+// statement is validated by planning it with neutral zero values, so defects
+// surface at prepare time rather than on the first probe. Prepare itself
+// performs no DBMS evaluation — the explain/execute counters are untouched,
+// preserving call parity with the re-parse path.
 func (db *DB) Prepare(templateSQL string) (*Prepared, error) {
 	stmt, err := sqlparser.Parse(templateSQL)
 	if err != nil {
 		return nil, fmt.Errorf("engine: prepare: %w", err)
 	}
-	p := &Prepared{
-		db:    db,
-		text:  templateSQL,
-		stmt:  stmt,
-		slots: map[string][]*sqlparser.Literal{},
-	}
-	stmt.RewriteExprs(func(e sqlparser.Expr) sqlparser.Expr {
-		ph, ok := e.(*sqlparser.Placeholder)
-		if !ok {
-			return e
-		}
-		lit := &sqlparser.Literal{Value: sqltypes.NewInt(0)}
-		p.slots[ph.Name] = append(p.slots[ph.Name], lit)
-		return lit
-	})
-	for name := range p.slots {
-		p.names = append(p.names, name)
-	}
-	sort.Strings(p.names)
-	if _, err := plan.Build(db.store.Schema, stmt); err != nil {
+	cq, err := plan.Compile(db.store.Schema, stmt)
+	if err != nil {
 		return nil, fmt.Errorf("engine: prepare: %w", err)
 	}
-	return p, nil
+	return &Prepared{db: db, text: templateSQL, cq: cq}, nil
 }
 
 // SQL returns the original template text.
 func (p *Prepared) SQL() string { return p.text }
 
 // Placeholders returns the sorted placeholder names the template declares.
-func (p *Prepared) Placeholders() []string {
-	out := make([]string, len(p.names))
-	copy(out, p.names)
-	return out
-}
+func (p *Prepared) Placeholders() []string { return p.cq.Placeholders() }
 
-// normalizeLiteral mirrors the lexer's numeric tokenization so a prepared
-// probe sees exactly the value a re-parse of the rendered SQL would: a float
-// whose shortest rendering has no '.' or exponent lexes back as an integer
-// literal, so it is stored as one here too.
-func normalizeLiteral(v sqltypes.Value) sqltypes.Value {
-	if v.Kind() != sqltypes.KindFloat {
-		return v
-	}
-	s := strconv.FormatFloat(v.Float(), 'g', -1, 64)
-	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
-		return sqltypes.NewInt(n)
-	}
-	return v
-}
-
-// Cost assigns the probe values into the template's literal slots, re-plans
-// the retained AST, and returns the query cost under the requested metric.
-// It increments the same DBMS-evaluation counters as DB.Cost, so a
-// prepared-template run reports identical evaluation counts to a re-parse
-// run. Plans are value-dependent (selectivity estimates read the bound
-// literals), so planning happens per probe; only lex/parse is skipped.
+// Cost evaluates the template at the given placeholder values under the
+// requested metric. Values are validated and normalized before anything
+// else — a probe with missing placeholders has no effect. Estimate kinds
+// never lock and never touch the AST; measured kinds serialize on the
+// internal exec mutex. Cost increments the same DBMS-evaluation counters as
+// DB.Cost, so a prepared run reports identical evaluation counts to a
+// re-parse run.
 func (p *Prepared) Cost(ctx context.Context, vals map[string]sqltypes.Value, kind CostKind) (float64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	var missing []string
-	for _, name := range p.names {
-		v, ok := vals[name]
-		if !ok {
-			missing = append(missing, name)
-			continue
-		}
-		nv := normalizeLiteral(v)
-		for _, lit := range p.slots[name] {
-			lit.Value = nv
-		}
+	params, err := p.cq.BindVals(vals)
+	if err != nil {
+		return 0, fmt.Errorf("engine: prepared cost: %w", err)
 	}
-	if len(missing) > 0 {
-		return 0, fmt.Errorf("engine: prepared cost: missing values for placeholders %v", missing)
+	return p.costParams(params, kind)
+}
+
+// CostBatch evaluates the template at a sweep of placeholder bindings,
+// reusing one parameter buffer across probes. It returns the costs computed
+// so far plus the first error encountered (probes after the failure are not
+// attempted); cancellation is checked between probes. The db_prepared_batches
+// counter increments once per sweep, db_prepared_probes once per probe —
+// profiler LHS sweeps and BO waves go through here.
+func (p *Prepared) CostBatch(ctx context.Context, vals []map[string]sqltypes.Value, kind CostKind) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	q, err := plan.Build(p.db.store.Schema, p.stmt)
+	p.db.preparedBatches.Add(1)
+	out := make([]float64, 0, len(vals))
+	var params []sqltypes.Value
+	for _, m := range vals {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		var err error
+		params, err = p.cq.BindValsInto(params, m)
+		if err != nil {
+			return out, fmt.Errorf("engine: prepared cost: %w", err)
+		}
+		c, err := p.costParams(params, kind)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// costParams serves one validated probe.
+func (p *Prepared) costParams(params []sqltypes.Value, kind CostKind) (float64, error) {
+	switch kind {
+	case Cardinality, PlanCost:
+		p.db.explainCount.Add(1)
+		p.db.preparedProbes.Add(1)
+		est := p.cq.EstimateWith(params)
+		if kind == Cardinality {
+			return est.Rows, nil
+		}
+		return est.Cost, nil
+	default:
+		v, err := p.replanParams(params, kind)
+		if err == nil {
+			p.db.preparedProbes.Add(1)
+		}
+		return v, err
+	}
+}
+
+// CostReplan is the pre-compilation baseline: assign the values into the
+// AST's literal slots under a lock and re-run the full planner. Measured
+// cost kinds go through it (execution needs the bound AST), and the
+// `-exp probe` microbenchmark uses it as the re-plan arm that compiled
+// probing is measured against. Results are bit-identical to Cost.
+func (p *Prepared) CostReplan(ctx context.Context, vals map[string]sqltypes.Value, kind CostKind) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	params, err := p.cq.BindVals(vals)
+	if err != nil {
+		return 0, fmt.Errorf("engine: prepared cost: %w", err)
+	}
+	return p.replanParams(params, kind)
+}
+
+// replanParams materializes the probe values into the compiled statement and
+// re-plans it from the AST, serialized on execMu. The estimate path never
+// reads the literal slots (values travel through the evaluation environment
+// instead), so concurrent estimate probes are unaffected by the mutation.
+func (p *Prepared) replanParams(params []sqltypes.Value, kind CostKind) (float64, error) {
+	p.execMu.Lock()
+	defer p.execMu.Unlock()
+	p.cq.AssignSlots(params)
+	q, err := plan.Build(p.db.store.Schema, p.cq.Stmt())
 	if err != nil {
 		return 0, fmt.Errorf("engine: prepared cost: %w", err)
 	}
 	return p.db.costOfPlan(q, kind)
 }
 
-// planCache is a bounded LRU of parsed-and-planned ad-hoc SQL. It caps both
-// entry count and memory: templates dominate probe traffic through Prepared,
-// while repeated ad-hoc statements (validation probes, workload re-scoring)
-// hit the cache instead of re-lexing. The hit/miss counters are exported as
-// volatile obs metrics: under parallel runs the LRU's contents depend on
-// goroutine interleaving, so these two counts are legitimately
-// scheduling-dependent and excluded from the deterministic snapshot.
+// planCache is a sharded, bounded LRU of parsed-and-planned ad-hoc SQL. It
+// caps both entry count and approximate memory (entryBytes), enforced per
+// shard; sharding by SQL hash keeps concurrent goroutines off one mutex.
+// Templates dominate probe traffic through Prepared, while repeated ad-hoc
+// statements (validation probes, workload re-scoring) hit the cache instead
+// of re-lexing. The hit/miss counters are exported as volatile obs metrics:
+// under parallel runs the LRU's contents depend on goroutine interleaving,
+// so these two counts are legitimately scheduling-dependent and excluded
+// from the deterministic snapshot.
 type planCache struct {
-	mu  sync.Mutex
-	max int
-	ll  *list.List
-	m   map[string]*list.Element
+	shards []*planShard
 
 	hits   obs.Counter
 	misses obs.Counter
 }
 
-type planEntry struct {
-	sql string
-	q   *plan.Query
+// planCacheShardCount is the shard fan-out for full-size caches. Tiny caches
+// (tests) collapse to one shard so the entry bound stays exact.
+const planCacheShardCount = 8
+
+type planShard struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	ll         *list.List
+	m          map[string]*list.Element
+	bytes      int64
 }
 
-func newPlanCache(max int) *planCache {
-	return &planCache{max: max, ll: list.New(), m: make(map[string]*list.Element, max)}
+type planEntry struct {
+	sql   string
+	q     *plan.Query
+	bytes int64
+}
+
+// entryBytes approximates one cached plan's memory footprint: a fixed
+// overhead for the entry, list element, and plan skeleton, plus terms
+// proportional to the SQL text (the key copy and the roughly text-sized
+// AST/plan structures).
+func entryBytes(sql string) int64 {
+	return 512 + 2*int64(len(sql))
+}
+
+func newPlanCache(maxEntries int, maxBytes int64) *planCache {
+	n := planCacheShardCount
+	if maxEntries < n {
+		n = 1
+	}
+	c := &planCache{shards: make([]*planShard, n)}
+	for i := range c.shards {
+		c.shards[i] = &planShard{
+			maxEntries: maxEntries / n,
+			maxBytes:   maxBytes / int64(n),
+			ll:         list.New(),
+			m:          map[string]*list.Element{},
+		}
+	}
+	return c
+}
+
+// shard picks the shard for a SQL string via FNV-1a (allocation-free).
+func (c *planCache) shard(sql string) *planShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(sql); i++ {
+		h ^= uint32(sql[i])
+		h *= prime32
+	}
+	return c.shards[h%uint32(len(c.shards))]
 }
 
 func (c *planCache) get(sql string) (*plan.Query, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.m[sql]
+	s := c.shard(sql)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[sql]
 	if !ok {
 		c.misses.Add(1)
 		return nil, false
 	}
 	c.hits.Add(1)
-	c.ll.MoveToFront(el)
+	s.ll.MoveToFront(el)
 	return el.Value.(*planEntry).q, true
 }
 
 func (c *planCache) put(sql string, q *plan.Query) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.m[sql]; ok {
-		c.ll.MoveToFront(el)
+	s := c.shard(sql)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[sql]; ok {
+		s.ll.MoveToFront(el)
 		el.Value.(*planEntry).q = q
 		return
 	}
-	c.m[sql] = c.ll.PushFront(&planEntry{sql: sql, q: q})
-	for c.ll.Len() > c.max {
-		last := c.ll.Back()
-		c.ll.Remove(last)
-		delete(c.m, last.Value.(*planEntry).sql)
+	e := &planEntry{sql: sql, q: q, bytes: entryBytes(sql)}
+	s.m[sql] = s.ll.PushFront(e)
+	s.bytes += e.bytes
+	for s.ll.Len() > s.maxEntries || (s.bytes > s.maxBytes && s.ll.Len() > 1) {
+		last := s.ll.Back()
+		le := last.Value.(*planEntry)
+		s.ll.Remove(last)
+		delete(s.m, le.sql)
+		s.bytes -= le.bytes
 	}
 }
 
-// len reports the number of cached plans (used by tests).
+// len reports the number of cached plans across shards (used by tests).
 func (c *planCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// approxBytes reports the cache's approximate memory footprint (tests).
+func (c *planCache) approxBytes() int64 {
+	var n int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.bytes
+		s.mu.Unlock()
+	}
+	return n
 }

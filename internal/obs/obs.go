@@ -50,6 +50,10 @@ const (
 	// Prepared-plan LRU behaviour (volatile: scheduling-dependent).
 	MDBPlanCacheHits   = "db_plan_cache_hits"
 	MDBPlanCacheMisses = "db_plan_cache_misses"
+	// Compiled-template probe traffic (deterministic: probe schedules are
+	// fixed by seed, so these are stable across worker counts).
+	MDBPreparedProbes  = "db_prepared_probes"
+	MDBPreparedBatches = "db_prepared_batches"
 
 	// Generator / static-analyzer tier.
 	MGenAttempts       = "generator_attempts"

@@ -127,6 +127,15 @@ func TestObsCountersMatchSubsystemGetters(t *testing.T) {
 	if got, want := snap.Counter(obs.MDBPlanCacheHits), db.PlanCacheHits(); got != want {
 		t.Errorf("%s = %d, DB reports %d", obs.MDBPlanCacheHits, got, want)
 	}
+	if got, want := snap.Counter(obs.MDBPreparedProbes), db.PreparedProbes(); got != want {
+		t.Errorf("%s = %d, DB reports %d", obs.MDBPreparedProbes, got, want)
+	}
+	if got, want := snap.Counter(obs.MDBPreparedBatches), db.PreparedBatches(); got != want {
+		t.Errorf("%s = %d, DB reports %d", obs.MDBPreparedBatches, got, want)
+	}
+	if snap.Counter(obs.MDBPreparedProbes) == 0 || snap.Counter(obs.MDBPreparedBatches) == 0 {
+		t.Error("a full pipeline run must serve probes through compiled templates")
+	}
 	// Result.DBCalls reads the same counters (fresh DB, so no baseline).
 	if got, want := res.DBCalls, snap.Counter(obs.MDBExplainCalls)+snap.Counter(obs.MDBExecCalls); got != want {
 		t.Errorf("Result.DBCalls = %d, snapshot explain+exec = %d", got, want)

@@ -1,0 +1,134 @@
+package plan_test
+
+import (
+	"context"
+	"testing"
+
+	"sqlbarber/internal/catalog"
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/generator"
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/plan"
+	"sqlbarber/internal/prand"
+	"sqlbarber/internal/profiler"
+	"sqlbarber/internal/spec"
+	"sqlbarber/internal/sqlparser"
+	"sqlbarber/internal/stats"
+)
+
+// TestCompiledEstimateMatchesBuildDifferential is the equivalence fuzz for
+// parametric plan compilation: for generated templates across both evaluation
+// schemas and a spread of specification shapes, costing through the compiled
+// skeleton (Compile once, CostWith per binding) must produce estimates that
+// are bit-identical — exact float64 equality, no tolerance — to rendering the
+// binding into SQL, re-parsing, and running the full planner (plan.Build).
+// Bindings are LHS-sampled from each template's derived search space, so the
+// comparison sweeps the same regions §5.1 profiling and §5.3 BO probing
+// visit.
+func TestCompiledEstimateMatchesBuildDifferential(t *testing.T) {
+	datasets := []struct {
+		name string
+		open func(int64) *engine.DB
+	}{
+		{"tpch", func(seed int64) *engine.DB { return engine.OpenTPCH(seed, 0.05) }},
+		{"imdb", func(seed int64) *engine.DB { return engine.OpenIMDB(seed, 0.05) }},
+	}
+	specShapes := []spec.Spec{
+		{NumJoins: spec.Int(0), NumPredicates: spec.Int(1)},
+		{NumJoins: spec.Int(0), NumPredicates: spec.Int(2), NestedQuery: spec.Bool(true)},
+		{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)},
+		{NumJoins: spec.Int(1), NumPredicates: spec.Int(1), GroupBy: spec.Bool(true), NumAggregations: spec.Int(2)},
+		{NumJoins: spec.Int(2), NumPredicates: spec.Int(3)},
+		{NumJoins: spec.Int(2), NumPredicates: spec.Int(2), NestedQuery: spec.Bool(true), GroupBy: spec.Bool(true)},
+		{NumJoins: spec.Int(0), NumPredicates: spec.Int(2), ComplexScalar: spec.Bool(true)},
+	}
+	const probesPerTemplate = 8
+	compared := 0
+	for _, ds := range datasets {
+		for seed := int64(1); seed <= 3; seed++ {
+			db := ds.open(seed)
+			schema := db.Schema()
+			gen := generator.New(db, llm.NewSim(llm.Perfect(seed)), generator.Options{Seed: seed})
+			for si, s := range specShapes {
+				res, err := gen.Generate(context.Background(), s)
+				if err != nil {
+					t.Fatalf("%s seed %d spec %d: generate: %v", ds.name, seed, si, err)
+				}
+				if !res.Valid {
+					t.Fatalf("%s seed %d spec %d: invalid template:\n%s", ds.name, seed, si, res.Template.SQL())
+				}
+				tmpl := res.Template
+
+				stmt, err := sqlparser.Parse(tmpl.SQL())
+				if err != nil {
+					t.Fatalf("%s seed %d spec %d: parse template: %v", ds.name, seed, si, err)
+				}
+				cq, err := plan.Compile(schema, stmt)
+				if err != nil {
+					t.Fatalf("%s seed %d spec %d: compile: %v\n%s", ds.name, seed, si, err, tmpl.SQL())
+				}
+
+				bindings, err := tmpl.BindPlaceholders(schema)
+				if err != nil {
+					t.Fatalf("%s seed %d spec %d: bind placeholders: %v", ds.name, seed, si, err)
+				}
+				if len(bindings) == 0 {
+					// No placeholders: one comparison at the empty binding.
+					est, err := cq.CostWith(nil)
+					if err != nil {
+						t.Fatalf("%s seed %d spec %d: CostWith: %v", ds.name, seed, si, err)
+					}
+					fresh := mustBuild(t, schema, tmpl.SQL())
+					if est.Rows != fresh.EstimatedRows() || est.Cost != fresh.TotalCost() {
+						t.Fatalf("%s seed %d spec %d: compiled estimate diverged (no placeholders):\nrows %v != %v\ncost %v != %v\n%s",
+							ds.name, seed, si, est.Rows, fresh.EstimatedRows(), est.Cost, fresh.TotalCost(), tmpl.SQL())
+					}
+					compared++
+					continue
+				}
+				space, err := profiler.BuildSearchSpace(tmpl, bindings)
+				if err != nil {
+					t.Fatalf("%s seed %d spec %d: search space: %v", ds.name, seed, si, err)
+				}
+				boSpace := space.BOSpace()
+				rng := prand.New(seed, prand.StageProfile, prand.HashString(tmpl.SQL()))
+				for pi, u := range stats.LatinHypercube(rng, probesPerTemplate, len(space.Dims)) {
+					raw := boSpace.Denormalize(u)
+					vals := space.ValuesFor(raw)
+					est, err := cq.CostWith(vals)
+					if err != nil {
+						t.Fatalf("%s seed %d spec %d probe %d: CostWith: %v", ds.name, seed, si, pi, err)
+					}
+					sql, err := tmpl.Instantiate(vals)
+					if err != nil {
+						t.Fatalf("%s seed %d spec %d probe %d: instantiate: %v", ds.name, seed, si, pi, err)
+					}
+					fresh := mustBuild(t, schema, sql)
+					if est.Rows != fresh.EstimatedRows() || est.Cost != fresh.TotalCost() {
+						t.Fatalf("%s seed %d spec %d probe %d: compiled estimate diverged:\nrows %v != %v\ncost %v != %v\n%s",
+							ds.name, seed, si, pi, est.Rows, fresh.EstimatedRows(), est.Cost, fresh.TotalCost(), sql)
+					}
+					compared++
+				}
+			}
+		}
+	}
+	if compared < 300 {
+		t.Fatalf("differential fuzz compared only %d probes; expected at least 300", compared)
+	}
+	t.Logf("differential fuzz: %d compiled-vs-build probes, all bit-identical", compared)
+}
+
+// mustBuild parses and plans rendered SQL through the non-compiled path.
+func mustBuild(t *testing.T, schema *catalog.Schema, sql string) *plan.Query {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse rendered SQL: %v\n%s", err, sql)
+	}
+	q, err := plan.Build(schema, stmt)
+	if err != nil {
+		t.Fatalf("build rendered SQL: %v\n%s", err, sql)
+	}
+	return q
+}

@@ -81,43 +81,81 @@ func (b *Binding) column(e sqlparser.Expr) *catalog.Column {
 	return &b.Scope.Tables[ref.TableIdx].Table.Columns[ref.ColIdx]
 }
 
-// constValue extracts a literal constant, or ok=false.
-func constValue(e sqlparser.Expr) (sqltypes.Value, bool) {
+// valueEnv overlays probe parameter values onto a compiled statement's
+// literal slots during estimation, so a probe never mutates the shared AST.
+// A nil *valueEnv is valid and means "read literal values as written", which
+// is exactly what a fresh plan.Build does — both paths run the same
+// estimation code with the same inputs, making their results bit-identical.
+type valueEnv struct {
+	// slots maps each placeholder-backed literal to its parameter index.
+	slots map[*sqlparser.Literal]int
+	// vals holds the normalized parameter values for this probe.
+	vals []sqltypes.Value
+	// subTot caches per-subplan total costs computed bottom-up by
+	// CompiledQuery.EstimateWith (nil outside compiled evaluation).
+	subTot map[*Query]float64
+}
+
+// constValue extracts a literal constant, or ok=false. Slot literals read
+// their value from the environment (never from the mutable AST field), so
+// concurrent probes on one compiled statement are race-free.
+func (ev *valueEnv) constValue(e sqlparser.Expr) (sqltypes.Value, bool) {
 	if lit, ok := e.(*sqlparser.Literal); ok {
+		if ev != nil {
+			if i, ok := ev.slots[lit]; ok {
+				return ev.vals[i], true
+			}
+		}
 		return lit.Value, true
 	}
 	if u, ok := e.(*sqlparser.UnaryExpr); ok && u.Op == "-" {
-		if v, ok := constValue(u.X); ok && v.IsNumeric() {
+		if v, ok := ev.constValue(u.X); ok && v.IsNumeric() {
 			return v.Neg(), true
 		}
 	}
 	return sqltypes.Null, false
 }
 
+// subTotal resolves a subplan's total cost: from the environment when a
+// compiled probe precomputed it, otherwise recursively from the plan tree.
+func (ev *valueEnv) subTotal(sp *Query) float64 {
+	if ev != nil && ev.subTot != nil {
+		return ev.subTot[sp]
+	}
+	return sp.TotalCost()
+}
+
 // Selectivity estimates the fraction of rows satisfying a boolean
 // expression, using column statistics where the shape allows.
 func (b *Binding) Selectivity(e sqlparser.Expr) float64 {
+	return b.selectivity(nil, e)
+}
+
+// selectivity is Selectivity with probe values threaded through a value
+// environment (nil env reads the AST directly). Every internal recursion
+// goes through here so compiled probes and fresh builds share one code path.
+func (b *Binding) selectivity(ev *valueEnv, e sqlparser.Expr) float64 {
 	switch t := e.(type) {
 	case *sqlparser.BinaryExpr:
 		switch t.Op {
 		case sqlparser.OpAnd:
-			return clamp01(b.Selectivity(t.L) * b.Selectivity(t.R))
+			return clamp01(b.selectivity(ev, t.L) * b.selectivity(ev, t.R))
 		case sqlparser.OpOr:
-			sl, sr := b.Selectivity(t.L), b.Selectivity(t.R)
+			sl, sr := b.selectivity(ev, t.L), b.selectivity(ev, t.R)
 			return clamp01(sl + sr - sl*sr)
 		case sqlparser.OpEq, sqlparser.OpNe, sqlparser.OpLt, sqlparser.OpLe, sqlparser.OpGt, sqlparser.OpGe:
-			return b.comparisonSel(t)
+			return b.comparisonSel(ev, t)
 		}
 		return defaultIneqSel
 	case *sqlparser.UnaryExpr:
 		if t.Op == "NOT" {
-			return clamp01(1 - b.Selectivity(t.X))
+			return clamp01(1 - b.selectivity(ev, t.X))
 		}
 		return defaultIneqSel
 	case *sqlparser.BetweenExpr:
 		col := b.column(t.X)
-		lo, okLo := constValue(t.Lo)
-		hi, okHi := constValue(t.Hi)
+		lo, okLo := ev.constValue(t.Lo)
+		hi, okHi := ev.constValue(t.Hi)
 		if col != nil && okLo && okHi {
 			s := b.rangeSel(col, lo, sqlparser.OpGe) + b.rangeSel(col, hi, sqlparser.OpLe) - 1
 			if t.Not {
@@ -139,7 +177,7 @@ func (b *Binding) Selectivity(e sqlparser.Expr) float64 {
 		col := b.column(t.X)
 		s := 0.0
 		for _, item := range t.List {
-			if v, ok := constValue(item); ok && col != nil {
+			if v, ok := ev.constValue(item); ok && col != nil {
 				s += b.eqSel(col, v)
 			} else {
 				s += defaultEqSel
@@ -157,7 +195,7 @@ func (b *Binding) Selectivity(e sqlparser.Expr) float64 {
 		return defaultExistsSel
 	case *sqlparser.LikeExpr:
 		s := defaultLikeSel
-		if v, ok := constValue(t.Pattern); ok && v.Kind() == sqltypes.KindString {
+		if v, ok := ev.constValue(t.Pattern); ok && v.Kind() == sqltypes.KindString {
 			pat := v.Str()
 			if strings.HasPrefix(pat, "%") {
 				s = 0.1
@@ -186,8 +224,8 @@ func (b *Binding) Selectivity(e sqlparser.Expr) float64 {
 		}
 		return clamp01(nf)
 	case *sqlparser.Literal:
-		if t.Value.Kind() == sqltypes.KindBool {
-			if t.Value.Bool() {
+		if v, ok := ev.constValue(t); ok && v.Kind() == sqltypes.KindBool {
+			if v.Bool() {
 				return 1
 			}
 			return 0
@@ -196,14 +234,14 @@ func (b *Binding) Selectivity(e sqlparser.Expr) float64 {
 	return defaultIneqSel
 }
 
-func (b *Binding) comparisonSel(e *sqlparser.BinaryExpr) float64 {
+func (b *Binding) comparisonSel(ev *valueEnv, e *sqlparser.BinaryExpr) float64 {
 	// Normalize to column-op-const orientation when possible.
 	col := b.column(e.L)
-	val, okV := constValue(e.R)
+	val, okV := ev.constValue(e.R)
 	op := e.Op
 	if col == nil {
 		col = b.column(e.R)
-		val, okV = constValue(e.L)
+		val, okV = ev.constValue(e.L)
 		op = flipOp(op)
 	}
 	if col == nil || !okV {

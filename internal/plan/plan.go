@@ -108,6 +108,37 @@ type Query struct {
 	JoinExtra [][]sqlparser.Expr
 	// Subplans holds the plan of each nested SELECT.
 	Subplans map[*sqlparser.SelectStmt]*Query
+
+	// subOrder lists the direct subplans in syntactic order. Cost roll-ups
+	// sum subplan totals in this order, never in map-iteration order, so two
+	// builds of the same statement always produce bit-identical totals.
+	subOrder []*Query
+
+	// Value-independent skeleton facts, precomputed once per Build so the
+	// per-probe roll-up of a compiled query touches no ASTs beyond the
+	// selectivity-bearing conjuncts.
+	isAgg   bool
+	numAggs int
+	// joinND[i] is the max(1, max(ndL, ndR)) distinct-count divisor of
+	// equi-join i (0 for nested-loop joins, which never read it).
+	joinND []float64
+	// residSubs[i] lists, in visit order, the subplans whose cost the
+	// residual filter charges for conjunct i.
+	residSubs [][]*Query
+
+	// Selectivity memos, populated only by Compile: entries whose conjunct
+	// contains no parameter slot carry their (value-independent) selectivity
+	// so probes skip recomputing them. Nil for plain Build.
+	scanMemo  [][]memoSel
+	extraMemo [][]memoSel
+	residMemo []memoSel
+}
+
+// memoSel is one memoized conjunct selectivity: static conjuncts carry their
+// value, dynamic ones (containing a parameter slot) are recomputed per probe.
+type memoSel struct {
+	dynamic bool
+	sel     float64
 }
 
 // EquiKeys is an extracted equi-join condition left.col = right.col.
@@ -119,9 +150,18 @@ type EquiKeys struct {
 func (q *Query) EstimatedRows() float64 { return q.Root.Rows() }
 
 // TotalCost returns the estimated total plan cost, including subquery plans.
+// Subplan totals accumulate in syntactic order (subOrder), so the float sum
+// is reproducible; hand-assembled Query values without subOrder fall back to
+// the Subplans map.
 func (q *Query) TotalCost() float64 {
 	c := q.Root.Cost()
-	for _, sp := range q.Subplans {
+	if q.subOrder == nil && len(q.Subplans) > 0 {
+		for _, sp := range q.Subplans {
+			c += sp.TotalCost()
+		}
+		return c
+	}
+	for _, sp := range q.subOrder {
 		c += sp.TotalCost()
 	}
 	return c
@@ -142,17 +182,116 @@ func buildWithParent(schema *catalog.Schema, stmt *sqlparser.SelectStmt, parent 
 		Binding:  b,
 		Subplans: map[*sqlparser.SelectStmt]*Query{},
 	}
-	// Plan subqueries first (they contribute cost once each).
-	for sub, sb := range b.Subqueries {
+	// Plan subqueries first (they contribute cost once each), visiting them
+	// in syntactic order so every build of this statement rolls costs up in
+	// the same sequence.
+	for _, sub := range directSubqueries(stmt) {
+		sb, ok := b.Subqueries[sub]
+		if !ok {
+			continue
+		}
 		sq, err := buildWithParent(schema, sub, sb.Scope.Parent)
 		if err != nil {
 			return nil, err
 		}
 		q.Subplans[sub] = sq
+		q.subOrder = append(q.subOrder, sq)
 	}
 	q.placeConjuncts()
+	q.precompute()
 	q.buildTree()
 	return q, nil
+}
+
+// directSubqueries collects the nested SELECTs appearing directly in the
+// statement's expressions, in the order Bind visits them (select items, join
+// ON conditions, WHERE, GROUP BY, HAVING, ORDER BY). It does not descend
+// into the collected subqueries — their own nesting is handled recursively.
+func directSubqueries(stmt *sqlparser.SelectStmt) []*sqlparser.SelectStmt {
+	var out []*sqlparser.SelectStmt
+	var visit func(e sqlparser.Expr)
+	visit = func(e sqlparser.Expr) {
+		if e == nil {
+			return
+		}
+		switch t := e.(type) {
+		case *sqlparser.BinaryExpr:
+			visit(t.L)
+			visit(t.R)
+		case *sqlparser.UnaryExpr:
+			visit(t.X)
+		case *sqlparser.FuncCall:
+			for _, a := range t.Args {
+				visit(a)
+			}
+		case *sqlparser.CaseExpr:
+			for _, w := range t.Whens {
+				visit(w.Cond)
+				visit(w.Result)
+			}
+			visit(t.Else)
+		case *sqlparser.InExpr:
+			visit(t.X)
+			for _, it := range t.List {
+				visit(it)
+			}
+			if t.Sub != nil {
+				out = append(out, t.Sub)
+			}
+		case *sqlparser.ExistsExpr:
+			if t.Sub != nil {
+				out = append(out, t.Sub)
+			}
+		case *sqlparser.BetweenExpr:
+			visit(t.X)
+			visit(t.Lo)
+			visit(t.Hi)
+		case *sqlparser.LikeExpr:
+			visit(t.X)
+			visit(t.Pattern)
+		case *sqlparser.IsNullExpr:
+			visit(t.X)
+		case *sqlparser.SubqueryExpr:
+			if t.Sub != nil {
+				out = append(out, t.Sub)
+			}
+		}
+	}
+	for _, it := range stmt.Items {
+		visit(it.Expr)
+	}
+	for _, j := range stmt.Joins {
+		visit(j.On)
+	}
+	visit(stmt.Where)
+	for _, g := range stmt.GroupBy {
+		visit(g)
+	}
+	visit(stmt.Having)
+	for _, o := range stmt.OrderBy {
+		visit(o.Expr)
+	}
+	return out
+}
+
+// precompute derives the value-independent skeleton facts the per-probe
+// roll-up needs: aggregate shape, equi-join distinct counts, and the
+// subplans each residual conjunct charges.
+func (q *Query) precompute() {
+	q.isAgg = IsAggregateQuery(q.Stmt)
+	q.numAggs = q.countAggs()
+	q.joinND = make([]float64, len(q.Stmt.Joins))
+	for i := range q.Stmt.Joins {
+		if ek := q.JoinEqui[i]; ek != nil {
+			ndL := q.keyDistinct(ek.Left)
+			ndR := q.keyDistinct(ek.Right)
+			q.joinND[i] = math.Max(1, math.Max(ndL, ndR))
+		}
+	}
+	q.residSubs = make([][]*Query, len(q.Residual))
+	for ci, c := range q.Residual {
+		q.residSubs[ci] = q.subplansIn(c)
+	}
 }
 
 // conjuncts flattens an AND tree.
@@ -277,50 +416,43 @@ func (q *Query) extractEqui(c sqlparser.Expr, rightIdx int) *EquiKeys {
 	return nil
 }
 
-// buildTree assembles the physical plan bottom-up with estimates.
+// buildTree assembles the physical plan bottom-up. All estimation arithmetic
+// lives in the shared (rows, cost) estimators below — buildTree only wraps
+// their results in Node structures, so a compiled roll-up (estimateRollup)
+// that runs the same estimators reproduces these numbers bit-for-bit.
 func (q *Query) buildTree() {
-	var node Node = q.buildScan(0)
+	se := q.scanEstimate(nil, 0)
+	var node Node = q.newScanNode(0, se)
 	for i := range q.Stmt.Joins {
-		right := q.buildScan(i + 1)
-		node = q.buildJoin(node, right, i)
+		rE := q.scanEstimate(nil, i+1)
+		right := q.newScanNode(i+1, rE)
+		j := &JoinNode{JoinType: q.Stmt.Joins[i].Type, Left: node, Right: right}
+		if ek := q.JoinEqui[i]; ek != nil {
+			j.HasEqui = true
+			j.LeftKey, j.RightKey = ek.Left, ek.Right
+		}
+		j.rows, j.cost = q.joinEstimate(nil, i, node.Rows(), node.Cost(), rE)
+		node = j
 	}
 	if len(q.Residual) > 0 {
-		sel := 1.0
-		for _, c := range q.Residual {
-			sel *= q.Binding.Selectivity(c)
-		}
-		subCost := 0.0
-		for _, c := range q.Residual {
-			subCost += q.subqueryCostOf(c)
-		}
 		f := &FilterNode{Input: node, Conds: q.Residual}
-		f.rows = math.Max(1, node.Rows()*sel)
-		f.cost = node.Cost() + node.Rows()*cpuOperatorCost*float64(len(q.Residual)) + subCost
+		f.rows, f.cost = q.residualEstimate(nil, node.Rows(), node.Cost())
 		node = f
 	}
-	if IsAggregateQuery(q.Stmt) {
-		numAggs := q.countAggs()
-		a := &AggNode{Input: node, GroupBy: q.Stmt.GroupBy, NumAggs: numAggs}
-		groups := 1.0
-		if len(q.Stmt.GroupBy) > 0 {
-			groups = q.groupEstimate(node.Rows())
-		}
-		a.rows = groups
-		a.cost = node.Cost() +
-			node.Rows()*cpuOperatorCost*float64(numAggs+len(q.Stmt.GroupBy)+1) +
-			groups*cpuTupleCost
+	if q.isAgg {
+		a := &AggNode{Input: node, GroupBy: q.Stmt.GroupBy, NumAggs: q.numAggs}
+		a.rows, a.cost = q.aggEstimate(node.Rows(), node.Cost())
 		node = a
 		if q.Stmt.Having != nil {
 			f := &FilterNode{Input: node, Conds: []sqlparser.Expr{q.Stmt.Having}}
-			f.rows = math.Max(1, node.Rows()*defaultIneqSel)
-			f.cost = node.Cost() + node.Rows()*cpuOperatorCost
+			f.rows, f.cost = havingEstimate(node.Rows(), node.Cost())
 			node = f
 		}
 	}
 	if q.Stmt.Distinct {
 		d := &DistinctNode{Input: node}
 		d.rows = node.Rows()
-		d.cost = node.Cost() + node.Rows()*cpuOperatorCost*2
+		d.cost = distinctCost(node.Rows(), node.Cost())
 		node = d
 	}
 	if len(q.Stmt.OrderBy) > 0 {
@@ -336,6 +468,91 @@ func (q *Query) buildTree() {
 		node = l
 	}
 	q.Root = node
+}
+
+// estimateRollup recomputes the root operator's (rows, cost) under the probe
+// values in ev without allocating a plan tree. It walks exactly the operator
+// sequence buildTree assembles and calls the same estimators, so its numbers
+// equal a fresh Build of the value-substituted statement bit-for-bit.
+func (q *Query) estimateRollup(ev *valueEnv) (rows, cost float64) {
+	se := q.scanEstimate(ev, 0)
+	rows, cost = se.rows, se.cost
+	for i := range q.Stmt.Joins {
+		rE := q.scanEstimate(ev, i+1)
+		rows, cost = q.joinEstimate(ev, i, rows, cost, rE)
+	}
+	if len(q.Residual) > 0 {
+		rows, cost = q.residualEstimate(ev, rows, cost)
+	}
+	if q.isAgg {
+		rows, cost = q.aggEstimate(rows, cost)
+		if q.Stmt.Having != nil {
+			rows, cost = havingEstimate(rows, cost)
+		}
+	}
+	if q.Stmt.Distinct {
+		cost = distinctCost(rows, cost)
+	}
+	if len(q.Stmt.OrderBy) > 0 {
+		cost = cost + sortCost(rows)
+	}
+	if q.Stmt.Limit >= 0 {
+		rows = math.Min(rows, float64(q.Stmt.Limit))
+	}
+	return rows, cost
+}
+
+// conjSel returns one conjunct's selectivity, serving memoized static values
+// when the memo says the conjunct carries no parameter slot.
+func (q *Query) conjSel(ev *valueEnv, memo []memoSel, i int, c sqlparser.Expr) float64 {
+	if memo != nil && !memo[i].dynamic {
+		return memo[i].sel
+	}
+	return q.Binding.selectivity(ev, c)
+}
+
+// residualEstimate applies the residual FilterNode arithmetic.
+func (q *Query) residualEstimate(ev *valueEnv, inRows, inCost float64) (rows, cost float64) {
+	sel := 1.0
+	for ci, c := range q.Residual {
+		sel *= q.conjSel(ev, q.residMemo, ci, c)
+	}
+	subCost := 0.0
+	for ci := range q.Residual {
+		// Group per conjunct before adding to subCost — float addition is
+		// not associative, and this preserves the historical summation shape.
+		c := 0.0
+		for _, sp := range q.residSubs[ci] {
+			c += ev.subTotal(sp)
+		}
+		subCost += c
+	}
+	rows = math.Max(1, inRows*sel)
+	cost = inCost + inRows*cpuOperatorCost*float64(len(q.Residual)) + subCost
+	return rows, cost
+}
+
+// aggEstimate applies the AggNode arithmetic.
+func (q *Query) aggEstimate(inRows, inCost float64) (rows, cost float64) {
+	groups := 1.0
+	if len(q.Stmt.GroupBy) > 0 {
+		groups = q.groupEstimate(inRows)
+	}
+	rows = groups
+	cost = inCost +
+		inRows*cpuOperatorCost*float64(q.numAggs+len(q.Stmt.GroupBy)+1) +
+		groups*cpuTupleCost
+	return rows, cost
+}
+
+// havingEstimate applies the HAVING FilterNode arithmetic.
+func havingEstimate(inRows, inCost float64) (rows, cost float64) {
+	return math.Max(1, inRows*defaultIneqSel), inCost + inRows*cpuOperatorCost
+}
+
+// distinctCost applies the DistinctNode cost arithmetic (rows pass through).
+func distinctCost(rows, cost float64) float64 {
+	return cost + rows*cpuOperatorCost*2
 }
 
 func sortCost(rows float64) float64 {
@@ -382,56 +599,80 @@ func (q *Query) groupEstimate(inRows float64) float64 {
 	return math.Max(1, math.Min(prod, inRows))
 }
 
-func (q *Query) buildScan(tableIdx int) *ScanNode {
+// scanEst is the value-dependent outcome of estimating one table scan.
+type scanEst struct {
+	rows, cost float64
+	useIndex   bool
+	idxCol     string
+}
+
+// scanEstimate applies the ScanNode arithmetic: per-filter selectivities
+// (memoized when static), the sequential-scan cost, and the sargable
+// index-scan flip re-evaluated at its decision point per probe.
+func (q *Query) scanEstimate(ev *valueEnv, tableIdx int) scanEst {
+	inst := q.Binding.Scope.Tables[tableIdx]
+	filters := q.ScanFilters[tableIdx]
+	var memo []memoSel
+	if q.scanMemo != nil {
+		memo = q.scanMemo[tableIdx]
+	}
+	rows := float64(inst.Table.RowCount)
+	sel := 1.0
+	bestIdxSel := 1.0
+	bestIdxCol := ""
+	for fi, f := range filters {
+		s := q.conjSel(ev, memo, fi, f)
+		sel *= s
+		if col, ok := sargableIndexColumn(q.Binding, ev, f); ok && s < bestIdxSel {
+			bestIdxSel = s
+			bestIdxCol = col
+		}
+	}
+	est := scanEst{rows: math.Max(1, rows*sel)}
+	pages := math.Max(1, float64(inst.Table.SizeBytes)/pageSize)
+	seqCost := pages*seqPageCost + rows*cpuTupleCost + rows*cpuOperatorCost*float64(len(filters))
+	est.cost = seqCost
+	if bestIdxCol != "" && bestIdxSel < 0.2 && rows > 64 {
+		idxRows := math.Max(1, rows*bestIdxSel)
+		idxCost := math.Ceil(math.Log2(rows+1))*cpuOperatorCost*4 +
+			idxRows*(cpuIndexTupleCost+randomPageCost*pages/rows) +
+			idxRows*cpuOperatorCost*float64(len(filters))
+		if idxCost < seqCost {
+			est.cost = idxCost
+			est.useIndex = true
+			est.idxCol = bestIdxCol
+		}
+	}
+	return est
+}
+
+// newScanNode wraps a scan estimate in its plan node.
+func (q *Query) newScanNode(tableIdx int, est scanEst) *ScanNode {
 	inst := q.Binding.Scope.Tables[tableIdx]
 	n := &ScanNode{
 		TableIdx: tableIdx,
 		Table:    inst.Table,
 		RefName:  inst.RefName,
 		Filters:  q.ScanFilters[tableIdx],
+		UseIndex: est.useIndex,
+		IndexCol: est.idxCol,
 	}
-	rows := float64(inst.Table.RowCount)
-	sel := 1.0
-	bestIdxSel := 1.0
-	bestIdxCol := ""
-	for _, f := range n.Filters {
-		s := q.Binding.Selectivity(f)
-		sel *= s
-		if col, ok := sargableIndexColumn(q.Binding, f); ok && s < bestIdxSel {
-			bestIdxSel = s
-			bestIdxCol = col
-		}
-	}
-	n.rows = math.Max(1, rows*sel)
-	pages := math.Max(1, float64(inst.Table.SizeBytes)/pageSize)
-	seqCost := pages*seqPageCost + rows*cpuTupleCost + rows*cpuOperatorCost*float64(len(n.Filters))
-	n.cost = seqCost
-	if bestIdxCol != "" && bestIdxSel < 0.2 && rows > 64 {
-		idxRows := math.Max(1, rows*bestIdxSel)
-		idxCost := math.Ceil(math.Log2(rows+1))*cpuOperatorCost*4 +
-			idxRows*(cpuIndexTupleCost+randomPageCost*pages/rows) +
-			idxRows*cpuOperatorCost*float64(len(n.Filters))
-		if idxCost < seqCost {
-			n.cost = idxCost
-			n.UseIndex = true
-			n.IndexCol = bestIdxCol
-		}
-	}
+	n.rows, n.cost = est.rows, est.cost
 	return n
 }
 
 // sargableIndexColumn reports an indexed column usable for an index scan
 // when the filter has the shape `col op const` (or BETWEEN) on it.
-func sargableIndexColumn(b *Binding, f sqlparser.Expr) (string, bool) {
+func sargableIndexColumn(b *Binding, ev *valueEnv, f sqlparser.Expr) (string, bool) {
 	var colExpr sqlparser.Expr
 	switch t := f.(type) {
 	case *sqlparser.BinaryExpr:
 		if !t.Op.IsComparison() {
 			return "", false
 		}
-		if _, ok := constValue(t.R); ok {
+		if _, ok := ev.constValue(t.R); ok {
 			colExpr = t.L
-		} else if _, ok := constValue(t.L); ok {
+		} else if _, ok := ev.constValue(t.L); ok {
 			colExpr = t.R
 		}
 	case *sqlparser.BetweenExpr:
@@ -451,37 +692,34 @@ func sargableIndexColumn(b *Binding, f sqlparser.Expr) (string, bool) {
 	return col.Name, true
 }
 
-func (q *Query) buildJoin(left Node, right *ScanNode, joinIdx int) Node {
-	j := &JoinNode{
-		JoinType: q.Stmt.Joins[joinIdx].Type,
-		Left:     left,
-		Right:    right,
+// joinEstimate applies the JoinNode arithmetic for join clause joinIdx given
+// the left subtree's (rows, cost) and the right scan's estimate.
+func (q *Query) joinEstimate(ev *valueEnv, joinIdx int, lRows, lCost float64, r scanEst) (rows, cost float64) {
+	rRows := r.rows
+	var memo []memoSel
+	if q.extraMemo != nil {
+		memo = q.extraMemo[joinIdx]
 	}
-	lRows, rRows := left.Rows(), right.Rows()
 	extraSel := 1.0
-	for _, c := range q.JoinExtra[joinIdx] {
-		extraSel *= q.Binding.Selectivity(c)
+	for ci, c := range q.JoinExtra[joinIdx] {
+		extraSel *= q.conjSel(ev, memo, ci, c)
 	}
-	if ek := q.JoinEqui[joinIdx]; ek != nil {
-		j.HasEqui = true
-		j.LeftKey, j.RightKey = ek.Left, ek.Right
-		ndL := q.keyDistinct(ek.Left)
-		ndR := q.keyDistinct(ek.Right)
-		nd := math.Max(1, math.Max(ndL, ndR))
-		j.rows = math.Max(1, lRows*rRows/nd*extraSel)
-		j.cost = left.Cost() + right.Cost() +
+	if q.JoinEqui[joinIdx] != nil {
+		nd := q.joinND[joinIdx]
+		rows = math.Max(1, lRows*rRows/nd*extraSel)
+		cost = lCost + r.cost +
 			(lRows+rRows)*cpuTupleCost + // probe + build tuple handling
 			rRows*cpuOperatorCost*2 + // hash build
-			j.rows*cpuOperatorCost
+			rows*cpuOperatorCost
 	} else {
 		// Nested loop with arbitrary ON predicate.
-		j.rows = math.Max(1, lRows*rRows*defaultIneqSel*extraSel)
-		j.cost = left.Cost() + right.Cost() + lRows*rRows*cpuOperatorCost
+		rows = math.Max(1, lRows*rRows*defaultIneqSel*extraSel)
+		cost = lCost + r.cost + lRows*rRows*cpuOperatorCost
 	}
-	if j.JoinType == sqlparser.JoinLeft && j.rows < lRows {
-		j.rows = lRows
+	if q.Stmt.Joins[joinIdx].Type == sqlparser.JoinLeft && rows < lRows {
+		rows = lRows
 	}
-	return j
+	return rows, cost
 }
 
 func (q *Query) keyDistinct(c *sqlparser.ColumnRef) float64 {
@@ -493,15 +731,18 @@ func (q *Query) keyDistinct(c *sqlparser.ColumnRef) float64 {
 	return math.Max(1, float64(col.Stats.NDistinct))
 }
 
-func (q *Query) subqueryCostOf(c sqlparser.Expr) float64 {
-	cost := 0.0
+// subplansIn lists, in visit order, the subplans a residual conjunct
+// charges (the subqueries its evaluation would run). The visit order is the
+// summation order of their costs, so it must stay deterministic.
+func (q *Query) subplansIn(c sqlparser.Expr) []*Query {
+	var subs []*Query
 	var visit func(e sqlparser.Expr)
 	addSub := func(s *sqlparser.SelectStmt) {
 		if s == nil {
 			return
 		}
 		if sp, ok := q.Subplans[s]; ok {
-			cost += sp.TotalCost()
+			subs = append(subs, sp)
 		}
 	}
 	visit = func(e sqlparser.Expr) {
@@ -524,7 +765,7 @@ func (q *Query) subqueryCostOf(c sqlparser.Expr) float64 {
 		}
 	}
 	visit(c)
-	return cost
+	return subs
 }
 
 // ---- EXPLAIN ----

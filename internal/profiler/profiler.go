@@ -209,18 +209,27 @@ func (p *Profiler) Profile(ctx context.Context, t *sqltemplate.Template, n int) 
 		unit = stats.LatinHypercube(rng, n, len(space.Dims))
 	}
 	prof := &Profile{Template: t, Space: space, Prep: prep}
-	for _, u := range unit {
+	// The LHS sweep instantiates all probe bindings up front and costs them
+	// through one CostBatch call: a single batched sweep over the compiled
+	// template, reusing one parameter buffer across probes.
+	raws := make([][]float64, len(unit))
+	sqls := make([]string, len(unit))
+	valsList := make([]map[string]sqltypes.Value, len(unit))
+	for i, u := range unit {
 		raw := boSpace.Denormalize(u)
 		vals := space.ValuesFor(raw)
 		sql, err := t.Instantiate(vals)
 		if err != nil {
 			return nil, err
 		}
-		cost, err := prep.Cost(ctx, vals, p.Kind)
-		if err != nil {
-			return nil, fmt.Errorf("profiler: template %d probe failed: %w", t.ID, err)
-		}
-		prof.Obs = append(prof.Obs, Observation{Raw: raw, SQL: sql, Cost: cost})
+		raws[i], sqls[i], valsList[i] = raw, sql, vals
+	}
+	costs, err := prep.CostBatch(ctx, valsList, p.Kind)
+	if err != nil {
+		return nil, fmt.Errorf("profiler: template %d probe failed: %w", t.ID, err)
+	}
+	for i, cost := range costs {
+		prof.Obs = append(prof.Obs, Observation{Raw: raws[i], SQL: sqls[i], Cost: cost})
 	}
 	sp.Observe(obs.HProfileProbes, float64(len(prof.Obs)))
 	sp.Annotate(obs.A("probes", strconv.Itoa(len(prof.Obs))))

@@ -29,6 +29,7 @@ import (
 	"sqlbarber/internal/obs"
 	"sqlbarber/internal/prand"
 	"sqlbarber/internal/profiler"
+	"sqlbarber/internal/sqltypes"
 	"sqlbarber/internal/stats"
 	"sqlbarber/internal/workload"
 )
@@ -421,18 +422,86 @@ func (s *Searcher) optimizeTemplate(ctx context.Context, rng *rand.Rand, t *work
 		return objective(cost, iv), true
 	}
 
+	// evaluateWave costs a wave of unit-cube points through the template's
+	// compiled statement in one Prepared.CostBatch sweep per contiguous run
+	// of successful probes, staging results exactly like evaluate and
+	// reporting each success (unit point, objective value) to report. Failed
+	// probes are skipped and the sweep resumes after them, so the staged
+	// outcome is identical to calling evaluate point by point — only the
+	// per-probe call overhead is gone.
+	evaluateWave := func(units [][]float64, report func(u []float64, y float64)) {
+		type probe struct {
+			unit []float64
+			raw  []float64
+			sql  string
+			vals map[string]sqltypes.Value
+		}
+		probes := make([]probe, 0, len(units))
+		for _, u := range units {
+			raw := boSpace.Denormalize(u)
+			vals := space.ValuesFor(raw)
+			sql, err := space.Template.Instantiate(vals)
+			if err != nil {
+				continue
+			}
+			probes = append(probes, probe{unit: u, raw: raw, sql: sql, vals: vals})
+		}
+		record := func(p probe, cost float64) {
+			res.costs = append(res.costs, cost)
+			res.obs = append(res.obs, profiler.Observation{Raw: p.raw, SQL: p.sql, Cost: cost})
+			res.queries = append(res.queries, workload.Query{SQL: p.sql, Cost: cost, TemplateID: t.Profile.Template.ID})
+			if report != nil {
+				report(p.unit, objective(cost, iv))
+			}
+		}
+		if t.Profile.Prep == nil {
+			for _, p := range probes {
+				if cost, err := s.DB.Cost(ctx, p.sql, s.Kind); err == nil {
+					record(p, cost)
+				}
+			}
+			return
+		}
+		valsList := make([]map[string]sqltypes.Value, len(probes))
+		for i, p := range probes {
+			valsList[i] = p.vals
+		}
+		for j := 0; j < len(probes); {
+			costs, err := t.Profile.Prep.CostBatch(ctx, valsList[j:], s.Kind)
+			for i, c := range costs {
+				record(probes[j+i], c)
+			}
+			if err == nil {
+				return
+			}
+			j += len(costs) + 1 // skip the failed probe and resume after it
+		}
+	}
+
 	if opts.Naive {
-		for i := 0; i < budget; i++ {
+		units := make([][]float64, budget)
+		for i := range units {
 			x := make([]float64, len(boSpace))
 			for d := range x {
 				x[d] = rng.Float64()
 			}
-			evaluate(boSpace.Denormalize(x))
+			units[i] = x
 		}
+		evaluateWave(units, nil)
 		return res
 	}
 	opt := bo.New(boSpace, rng, bo.Options{InitSamples: 4}, warm)
-	opt.Run(budget, evaluate, nil)
+	// The LHS initialization design is rng-neutral to evaluate as a batch:
+	// it was drawn inside bo.New, and evaluation consumes no optimizer
+	// randomness, so batching the init wave then running the remaining
+	// budget is observation-for-observation identical to the sequential
+	// loop.
+	init := opt.TakeInit()
+	if len(init) > budget {
+		init = init[:budget]
+	}
+	evaluateWave(init, opt.Observe)
+	opt.Run(budget-len(init), evaluate, nil)
 	return res
 }
 

@@ -27,6 +27,16 @@
 #                              can still skew one process, so the step retries
 #                              in a fresh process up to 3 times; a real
 #                              regression fails all attempts
+#   6. cmd/benchmarks -exp probe
+#                            — the compiled-probing smoke: costs the same
+#                              deterministic probe schedule through compiled
+#                              parametric plans and through the re-plan
+#                              baseline at 1/2/8 goroutines, failing on any
+#                              cost divergence, probe-hash drift, counter
+#                              disparity, or if compiled probing does not
+#                              beat re-planning. Refreshes BENCH_probe.json.
+#                              Timing-sensitive like the obs smoke, so it
+#                              gets the same 3-attempt fresh-process retry
 #
 # Run it from anywhere; it changes to the repo root first. Any failure stops
 # the chain with a non-zero exit.
@@ -56,6 +66,20 @@ for attempt in 1 2 3; do
 done
 if [ "${obs_ok}" -ne 1 ]; then
   echo "obs smoke failed 3 consecutive attempts — treating as a real regression" >&2
+  exit 1
+fi
+
+echo "== cmd/benchmarks -exp probe (compiled-probing smoke) =="
+probe_ok=0
+for attempt in 1 2 3; do
+  if go run ./cmd/benchmarks -exp probe -probejson BENCH_probe.json; then
+    probe_ok=1
+    break
+  fi
+  echo "probe smoke attempt ${attempt} failed; retrying in a fresh process" >&2
+done
+if [ "${probe_ok}" -ne 1 ]; then
+  echo "probe smoke failed 3 consecutive attempts — treating as a real regression" >&2
   exit 1
 fi
 
