@@ -109,12 +109,17 @@ func LintDir(dir string) ([]Finding, error) {
 	}
 	inInternal, inCmd := classifyDir(dir)
 	instrumented := isInstrumentedDir(dir)
+	floatStrict := isFloatStrictDir(dir)
 
 	var findings []Finding
 	report := func(pos token.Pos, code, msg string) {
 		findings = append(findings, Finding{Pos: fset.Position(pos), Code: code, Msg: msg})
 	}
 	mutexStructs := collectMutexStructs(files)
+	var fdecls *floatDecls
+	if floatStrict {
+		fdecls = collectFloatDecls(files)
+	}
 	for _, pf := range files {
 		if !pf.isTest {
 			if inInternal {
@@ -126,6 +131,9 @@ func LintDir(dir string) ([]Finding, error) {
 			}
 			if instrumented {
 				checkObsDiscipline(pf.file, report)
+			}
+			if floatStrict {
+				checkFloatEquality(pf.file, fdecls, report)
 			}
 			checkIgnoredDBError(pf.file, report)
 		}
@@ -438,6 +446,218 @@ func checkObsDiscipline(f *ast.File, report func(token.Pos, string, string)) {
 			timeName+"."+sel.Sel.Name+" bypasses the obs clock in an instrumented package; read time through the span (sp.Now()) so traces and golden tests stay consistent")
 		return true
 	})
+}
+
+// floatStrictPkgs are the internal packages where exact float64 comparison
+// is banned (R007): estimator and analyzer arithmetic, where an ==/!= gate
+// on a cost or selectivity flips on last-ulp perturbations that are
+// semantically noise. Comparisons there go through the shared epsilon helper
+// stats.ApproxEqual or an ordered operator.
+var floatStrictPkgs = map[string]bool{"plan": true, "analyzer": true}
+
+// isFloatStrictDir reports whether the directory lies inside internal/plan
+// or internal/analyzer (any depth). Like classifyDir it looks only at the
+// segments after the innermost testdata so fixtures can emulate placement.
+func isFloatStrictDir(path string) bool {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		abs = path
+	}
+	parts := strings.Split(filepath.ToSlash(abs), "/")
+	for i := len(parts) - 1; i >= 0; i-- {
+		if parts[i] == "testdata" {
+			parts = parts[i+1:]
+			break
+		}
+	}
+	for i, p := range parts {
+		if p == "internal" && i+1 < len(parts) && floatStrictPkgs[parts[i+1]] {
+			return true
+		}
+	}
+	return false
+}
+
+// floatDecls is the package-wide syntactic float64 inventory R007 matches
+// expressions against: struct field names typed float64, function and method
+// names returning exactly one float64, and package-level var/const names
+// that are float64 (declared so, or initialized from a float literal).
+type floatDecls struct {
+	fields map[string]bool
+	funcs  map[string]bool
+	vars   map[string]bool
+}
+
+// isFloat64Type reports whether a type expression is literally `float64`.
+func isFloat64Type(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "float64"
+}
+
+// collectFloatDecls builds the package's floatDecls from every file.
+func collectFloatDecls(files []parsedFile) *floatDecls {
+	d := &floatDecls{fields: map[string]bool{}, funcs: map[string]bool{}, vars: map[string]bool{}}
+	for _, pf := range files {
+		for _, decl := range pf.file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if r := fd.Type.Results; r != nil && len(r.List) == 1 &&
+					len(r.List[0].Names) <= 1 && isFloat64Type(r.List[0].Type) {
+					d.funcs[fd.Name.Name] = true
+				}
+				continue
+			}
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || (gd.Tok != token.VAR && gd.Tok != token.CONST) {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				isFloat := vs.Type != nil && isFloat64Type(vs.Type)
+				if vs.Type == nil {
+					for _, v := range vs.Values {
+						if bl, ok := v.(*ast.BasicLit); ok && bl.Kind == token.FLOAT {
+							isFloat = true
+						}
+					}
+				}
+				if isFloat {
+					for _, name := range vs.Names {
+						d.vars[name.Name] = true
+					}
+				}
+			}
+		}
+		ast.Inspect(pf.file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if isFloat64Type(field.Type) {
+					for _, name := range field.Names {
+						d.fields[name.Name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return d
+}
+
+// mathFloatFns are math package functions returning float64 that estimator
+// code actually reaches for; used to classify `math.F(...)` operands.
+var mathFloatFns = map[string]bool{
+	"Abs": true, "Max": true, "Min": true, "Floor": true, "Ceil": true,
+	"Round": true, "Trunc": true, "Sqrt": true, "Log": true, "Log2": true,
+	"Log10": true, "Pow": true, "Exp": true, "Exp2": true, "Inf": true,
+	"Nextafter": true, "Mod": true, "Hypot": true, "Cbrt": true,
+}
+
+// isFloatExpr reports whether an expression is syntactically float64-valued:
+// a float literal, a declared-float64 name or field, a float64() conversion,
+// a math.* float call or constant, a call to a single-float64-result package
+// function, or arithmetic over any of these. locals holds the enclosing
+// function's float64-declared names.
+func isFloatExpr(e ast.Expr, d *floatDecls, locals map[string]bool) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return isFloatExpr(e.X, d, locals)
+	case *ast.BasicLit:
+		return e.Kind == token.FLOAT
+	case *ast.Ident:
+		return locals[e.Name] || d.vars[e.Name]
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok && id.Name == "math" {
+			// math constants (MaxFloat64, Pi, ...) — everything except the
+			// integer limits is a float.
+			return !strings.Contains(e.Sel.Name, "Int")
+		}
+		return d.fields[e.Sel.Name]
+	case *ast.CallExpr:
+		switch fun := e.Fun.(type) {
+		case *ast.Ident:
+			return fun.Name == "float64" || d.funcs[fun.Name]
+		case *ast.SelectorExpr:
+			if id, ok := fun.X.(*ast.Ident); ok && id.Name == "math" {
+				return mathFloatFns[fun.Sel.Name]
+			}
+			return d.funcs[fun.Sel.Name]
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			return isFloatExpr(e.X, d, locals) || isFloatExpr(e.Y, d, locals)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB {
+			return isFloatExpr(e.X, d, locals)
+		}
+	}
+	return false
+}
+
+// checkFloatEquality flags ==/!= where either operand is float64-valued
+// (R007). Walks each function in source order, tracking float64-declared
+// locals (parameters, named results, var declarations, and := assignments
+// from float expressions) as it goes.
+func checkFloatEquality(f *ast.File, d *floatDecls, report func(token.Pos, string, string)) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		locals := map[string]bool{}
+		addFields := func(fl *ast.FieldList) {
+			if fl == nil {
+				return
+			}
+			for _, field := range fl.List {
+				if isFloat64Type(field.Type) {
+					for _, name := range field.Names {
+						locals[name.Name] = true
+					}
+				}
+			}
+		}
+		addFields(fd.Type.Params)
+		addFields(fd.Type.Results)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				addFields(n.Type.Params)
+				addFields(n.Type.Results)
+			case *ast.ValueSpec:
+				if n.Type != nil && isFloat64Type(n.Type) {
+					for _, name := range n.Names {
+						locals[name.Name] = true
+					}
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && isFloatExpr(rhs, d, locals) {
+						locals[id.Name] = true
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isFloatExpr(n.X, d, locals) || isFloatExpr(n.Y, d, locals) {
+					report(n.Pos(), "R007",
+						"exact float64 comparison ("+n.Op.String()+") in estimator code; "+
+							"compare through stats.ApproxEqual (the shared epsilon helper) or an ordered operator")
+				}
+			}
+			return true
+		})
+	}
 }
 
 // dbErrMethods are engine.DB methods whose last return is an error; calling

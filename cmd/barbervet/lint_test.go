@@ -112,6 +112,66 @@ func TestIsInstrumentedDir(t *testing.T) {
 	}
 }
 
+// TestFloatFixtureTripsR007 asserts the badfloat fixture (which emulates an
+// internal/plan package) produces exactly the pinned R007 findings: two
+// float64 params, a float64 struct field, a float literal, a math call, a
+// float-typed local against a float const, and a single-float64-result call.
+func TestFloatFixtureTripsR007(t *testing.T) {
+	findings, err := LintDir(filepath.Join("testdata", "internal", "plan", "badfloat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r007 int
+	for _, f := range findings {
+		if f.Code == "R007" {
+			r007++
+		} else {
+			t.Errorf("unexpected non-R007 finding: %v", f)
+		}
+		if f.Pos.Filename == "" || f.Pos.Line == 0 {
+			t.Errorf("finding %s has no position", f.Code)
+		}
+	}
+	if r007 != 6 {
+		t.Errorf("R007 fired %d time(s), want 6: %v", r007, findings)
+	}
+}
+
+// TestFloatRuleScopedToEstimatorPackages asserts R007 stays silent outside
+// internal/plan and internal/analyzer: badpkg sits under internal/ and may
+// compare floats exactly.
+func TestFloatRuleScopedToEstimatorPackages(t *testing.T) {
+	findings, err := LintDir(filepath.Join("testdata", "internal", "badpkg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Code == "R007" {
+			t.Errorf("R007 fired outside a float-strict package: %v", f)
+		}
+	}
+}
+
+// TestIsFloatStrictDir checks testdata-aware float-strict path detection.
+func TestIsFloatStrictDir(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"/repo/internal/plan", true},
+		{"/repo/internal/analyzer", true},
+		{"/repo/internal/analyzer/intervals", true},
+		{"/repo/internal/stats", false},
+		{"/repo/cmd/barbervet/testdata/internal/plan/badfloat", true},
+		{"/repo/cmd/barbervet/testdata/internal/badpkg", false},
+	}
+	for _, tc := range cases {
+		if got := isFloatStrictDir(tc.path); got != tc.want {
+			t.Errorf("isFloatStrictDir(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}
+
 // TestLinterIsCleanOnItself asserts barbervet's own sources pass.
 func TestLinterIsCleanOnItself(t *testing.T) {
 	findings, err := LintDir(".")

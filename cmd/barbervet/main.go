@@ -22,6 +22,20 @@
 //	      (b) `go` statements in functions with no .Wait()/.Done() call in
 //	      the body — goroutines must be joined (sync.WaitGroup or
 //	      equivalent) so cancellation cannot leak them.
+//	R006  observability bypass in instrumented packages (pipeline, generator,
+//	      profiler, refine, search): direct time.Now()/time.Since() calls
+//	      produce timings golden traces cannot fake, and importing
+//	      sync/atomic means a counter is hand-rolled instead of using
+//	      obs.Counter.
+//	R007  exact float64 comparison in internal/plan and internal/analyzer:
+//	      ==/!= on float64-valued expressions. Cost and selectivity
+//	      arithmetic must compare through the shared epsilon helper
+//	      (stats.ApproxEqual) — or an ordered operator — so estimator
+//	      refactors that perturb the last ulp cannot silently flip
+//	      equality-gated decisions. (Syntactic heuristic: an operand counts
+//	      as float64 when it is a float literal, a name or struct field
+//	      declared float64, a float64() conversion, a math.* call, or a
+//	      same-package call with a single float64 result.)
 //
 // Usage:
 //

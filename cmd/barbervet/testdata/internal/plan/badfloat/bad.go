@@ -1,0 +1,51 @@
+// Package badfloat is a barbervet fixture: every construct here is a known
+// R007 violation (exact float64 comparison in estimator code) or a control
+// that must NOT fire. The count is pinned in lint_test.go.
+package badfloat
+
+import "math"
+
+// estimate mimics a cost-bounds struct with float64 fields.
+type estimate struct {
+	Rows float64
+	Cost float64
+	N    int
+}
+
+const defaultSel = 0.005
+
+// selOf mimics a single-float64-result helper.
+func selOf(n int) float64 { return 1 / float64(n) }
+
+// compare trips R007 four ways: parameter idents, a struct field, a float
+// literal, and a math call.
+func compare(a, b float64, e estimate) bool {
+	if a == b { // R007: two float64 params
+		return true
+	}
+	if e.Cost != 0 { // R007: float64 struct field
+		return true
+	}
+	if a == 0.5 { // R007: float literal operand
+		return true
+	}
+	return math.Abs(a-b) == 0 // R007: math call operand
+}
+
+// derived trips R007 two more ways: a := local assigned from a float
+// expression, and a call to a single-float64-result function.
+func derived(n int) bool {
+	s := defaultSel * 2
+	if s != defaultSel { // R007: float-typed local and const
+		return false
+	}
+	return selOf(n) == 1 // R007: single-float64-result call
+}
+
+// controls must stay silent: integer and ordered comparisons are fine.
+func controls(e estimate, n int) bool {
+	if e.N == n { // int field vs int param: no finding
+		return false
+	}
+	return e.Cost < e.Rows // ordered float comparison: no finding
+}

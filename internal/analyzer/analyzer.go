@@ -8,6 +8,7 @@
 package analyzer
 
 import (
+	"sort"
 	"strings"
 
 	"sqlbarber/internal/catalog"
@@ -164,7 +165,34 @@ func (a *Analyzer) Analyze(stmt *sqlparser.SelectStmt, sp *spec.Spec) Report {
 	for _, p := range a.passes {
 		rep.Diagnostics = append(rep.Diagnostics, p.Run(ctx)...)
 	}
+	rep.Diagnostics = normalizeDiagnostics(rep.Diagnostics)
 	return rep
+}
+
+// normalizeDiagnostics makes reports order-stable and non-repetitive: sort
+// deterministically by (code, span), then drop findings that duplicate an
+// earlier one's code and span — several passes can flag the same expression
+// for the same reason, and repeated lines only dilute the repair prompt.
+// Within a duplicate group the first finding in pass order survives, which
+// the stable sort preserves.
+func normalizeDiagnostics(diags []Diagnostic) []Diagnostic {
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Code != diags[j].Code {
+			return diags[i].Code < diags[j].Code
+		}
+		if diags[i].Span.Start != diags[j].Span.Start {
+			return diags[i].Span.Start < diags[j].Span.Start
+		}
+		return diags[i].Span.End < diags[j].Span.End
+	})
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d.Code == diags[i-1].Code && d.Span == diags[i-1].Span {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // AnalyzeSQL parses the template text and analyzes it. A parse failure

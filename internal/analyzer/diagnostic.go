@@ -47,6 +47,8 @@ func (s Severity) String() string {
 //	Pnnn  predicates: contradictions and constant conditions
 //	Hnnn  placeholders: sargability and bindability of {p_i} markers
 //	Snnn  specification conformance (the Figure 8a error taxonomy)
+//	Innn  intervals: static cost-interval analysis verdicts (package
+//	      analyzer/intervals) — pruned, flat, or unavailable
 type Code string
 
 // The diagnostic code table. DESIGN.md documents each entry.
@@ -84,6 +86,10 @@ const (
 	CodeSpecGroupBy       Code = "S006"
 	CodeSpecComplexScalar Code = "S007"
 	CodeSpecOther         Code = "S099"
+
+	CodeIntervalPruned      Code = "I001"
+	CodeIntervalFlat        Code = "I002"
+	CodeIntervalUnavailable Code = "I003"
 )
 
 // Span locates a diagnostic inside the canonical template SQL as a

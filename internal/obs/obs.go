@@ -75,6 +75,11 @@ const (
 	// Baseline methods (internal/baselines).
 	MBaselineEvals = "baseline_evaluations"
 
+	// Static cost-interval analysis (internal/analyzer/intervals).
+	MIntervalsPruned      = "intervals_pruned"
+	MIntervalsFlat        = "intervals_flat"
+	MIntervalsProbesSaved = "intervals_probes_saved"
+
 	// Run-level gauges, set by the pipeline at assembly.
 	GWorkloadQueries  = "workload_queries"
 	GWorkloadDistance = "workload_distance"

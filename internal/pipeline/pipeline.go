@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"sqlbarber/internal/analyzer/intervals"
 	"sqlbarber/internal/engine"
 	"sqlbarber/internal/generator"
 	"sqlbarber/internal/llm"
@@ -37,6 +38,10 @@ type Ablations struct {
 	NaiveSearch bool
 	// IndependentSampling disables LHS during profiling (ablation).
 	IndependentSampling bool
+	// DisableIntervals turns off the static cost-interval stage: no
+	// pre-profiling pruning, no flat-template probe skip, no BO search-box
+	// narrowing (the "No-Interval-Prune" arm benchmarks compare against).
+	DisableIntervals bool
 }
 
 // String names the configuration the way the paper's figures label it:
@@ -55,6 +60,9 @@ func (a Ablations) String() string {
 	}
 	if a.IndependentSampling {
 		parts = append(parts, "Independent-Sampling")
+	}
+	if a.DisableIntervals {
+		parts = append(parts, "No-Interval-Prune")
 	}
 	return strings.Join(parts, "+")
 }
@@ -157,6 +165,10 @@ type Result struct {
 	Templates []*workload.TemplateState
 	// GenResults holds per-spec generation traces (Algorithm 1 attempts).
 	GenResults []*generator.Result
+	// PrunedTemplates lists template IDs the static cost-interval stage
+	// proved unable to reach any requested band (I001) and therefore never
+	// profiled, in template order.
+	PrunedTemplates []int
 	// RefineStats and SearchStats report component behaviour.
 	RefineStats refine.Stats
 	SearchStats search.Stats
@@ -193,6 +205,10 @@ type RunState struct {
 	// Prof is the §5.1 profiler (built by the profile stage, reused by
 	// refinement).
 	Prof *profiler.Profiler
+	// Intervals holds the per-template static cost-interval analyses keyed
+	// by template ID (nil when the stage is disabled). Profiling and search
+	// read their prune / flat / box verdicts from here.
+	Intervals map[int]*intervals.Analysis
 	// States are the live templates flowing through profile → refine →
 	// search.
 	States []*workload.TemplateState
@@ -231,7 +247,7 @@ type Stage interface {
 // Stages returns the standard pipeline in execution order. Assembly is not
 // listed: it is unconditional and runs inside Run after the stage loop.
 func Stages() []Stage {
-	return []Stage{generateStage{}, profileStage{}, refineSearchStage{}}
+	return []Stage{generateStage{}, intervalsStage{}, profileStage{}, refineSearchStage{}}
 }
 
 // Run executes the pipeline. On context cancellation it returns a partial

@@ -43,7 +43,7 @@ func TestPipelineStageTimings(t *testing.T) {
 	if res.Partial {
 		t.Fatalf("uncancelled run marked partial (stage %q)", res.CancelledStage)
 	}
-	want := []string{"generate", "profile", "refine-search", "assemble"}
+	want := []string{"generate", "intervals", "profile", "refine-search", "assemble"}
 	if len(res.StageTimings) != len(want) {
 		t.Fatalf("stage timings: %+v, want %v", res.StageTimings, want)
 	}

@@ -300,20 +300,7 @@ func (b *Binding) rangeSel(col *catalog.Column, v sqltypes.Value, op sqlparser.B
 		return defaultIneqSel
 	}
 	x := v.Float()
-	var fracBelow float64 // P(col < x)
-	if len(st.Histogram) >= 2 {
-		fracBelow = histogramFraction(st.Histogram, x)
-	} else {
-		lo, hi := st.Min.Float(), st.Max.Float()
-		switch {
-		case x <= lo:
-			fracBelow = 0
-		case x >= hi:
-			fracBelow = 1
-		default:
-			fracBelow = (x - lo) / (hi - lo)
-		}
-	}
+	fracBelow := fracBelowX(st, x)
 	notNull := 1 - st.NullFrac
 	switch op {
 	case sqlparser.OpLt:
@@ -326,6 +313,25 @@ func (b *Binding) rangeSel(col *catalog.Column, v sqltypes.Value, op sqlparser.B
 		return clamp01((1 - fracBelow) * notNull)
 	}
 	return defaultIneqSel
+}
+
+// fracBelowX estimates P(col < x) from the column's histogram when present,
+// falling back to linear interpolation between min and max. It is monotone
+// nondecreasing in x and its results lie in [0, 1] — the interval evaluator
+// (interval.go) relies on both properties to bound it by evaluating at the
+// endpoints of an x-range.
+func fracBelowX(st *catalog.ColumnStats, x float64) float64 {
+	if len(st.Histogram) >= 2 {
+		return histogramFraction(st.Histogram, x)
+	}
+	lo, hi := st.Min.Float(), st.Max.Float()
+	switch {
+	case x <= lo:
+		return 0
+	case x >= hi:
+		return 1
+	}
+	return (x - lo) / (hi - lo)
 }
 
 // histogramFraction returns the fraction of values strictly below x given

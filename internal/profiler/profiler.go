@@ -163,6 +163,11 @@ type Profiler struct {
 	Seed int64
 	// IndependentSampling switches LHS off (ablation only).
 	IndependentSampling bool
+	// Flat marks template IDs the static cost-interval analysis proved
+	// (near-)constant over their whole slot domain: the LHS sweep collapses
+	// to a single deterministic midpoint probe, since every probe would
+	// observe the same cost anyway.
+	Flat map[int]bool
 }
 
 // Profile instantiates the template at n space-filling sample points and
@@ -201,12 +206,23 @@ func (p *Profiler) Profile(ctx context.Context, t *sqltemplate.Template, n int) 
 		return nil, err
 	}
 	boSpace := space.BOSpace()
-	rng := prand.New(p.Seed, prand.StageProfile, prand.HashString(t.SQL()))
 	var unit [][]float64
-	if p.IndependentSampling {
-		unit = stats.IndependentUniform(rng, n, len(space.Dims))
+	if p.Flat[t.ID] {
+		// Provably flat template: one midpoint probe replaces the sweep.
+		// The point is fixed (no stream consumed), so the observation is
+		// identical regardless of worker count or profiling order.
+		mid := make([]float64, len(space.Dims))
+		for i := range mid {
+			mid[i] = 0.5
+		}
+		unit = [][]float64{mid}
 	} else {
-		unit = stats.LatinHypercube(rng, n, len(space.Dims))
+		rng := prand.New(p.Seed, prand.StageProfile, prand.HashString(t.SQL()))
+		if p.IndependentSampling {
+			unit = stats.IndependentUniform(rng, n, len(space.Dims))
+		} else {
+			unit = stats.LatinHypercube(rng, n, len(space.Dims))
+		}
 	}
 	prof := &Profile{Template: t, Space: space, Prep: prep}
 	// The LHS sweep instantiates all probe bindings up front and costs them

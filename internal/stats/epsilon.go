@@ -1,0 +1,16 @@
+package stats
+
+import "math"
+
+// Epsilon is the shared relative tolerance for float64 comparisons in
+// estimator and analyzer code. Cost-model arithmetic accumulates rounding at
+// the scale of a few ulps per operation; 1e-9 is far above that noise floor
+// yet far below any difference the cost model treats as meaningful.
+const Epsilon = 1e-9
+
+// ApproxEqual reports whether a and b are equal up to Epsilon, relative to
+// the larger magnitude (absolute near zero). This is the comparison estimator
+// code must use instead of == on float64 values (barbervet rule R007).
+func ApproxEqual(a, b float64) bool {
+	return math.Abs(a-b) <= Epsilon*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

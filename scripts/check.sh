@@ -37,6 +37,18 @@
 #                              beat re-planning. Refreshes BENCH_probe.json.
 #                              Timing-sensitive like the obs smoke, so it
 #                              gets the same 3-attempt fresh-process retry
+#   7. cmd/benchmarks -exp intervals
+#                            — the static cost-interval smoke: runs the
+#                              pipeline with the intervals stage on and off
+#                              against a low-band plan-cost target, failing
+#                              unless ≥20% of baseline profiling probes are
+#                              eliminated, every pruned template survives a
+#                              dense false-prune re-probe (zero observations
+#                              in any wanted band), and 1/2/8-worker runs
+#                              produce byte-identical workloads. Refreshes
+#                              BENCH_intervals.json. Retried like the other
+#                              smokes for consistency (its gates are all
+#                              deterministic, so retries should never differ)
 #
 # Run it from anywhere; it changes to the repo root first. Any failure stops
 # the chain with a non-zero exit.
@@ -80,6 +92,20 @@ for attempt in 1 2 3; do
 done
 if [ "${probe_ok}" -ne 1 ]; then
   echo "probe smoke failed 3 consecutive attempts — treating as a real regression" >&2
+  exit 1
+fi
+
+echo "== cmd/benchmarks -exp intervals (static cost-interval smoke) =="
+intervals_ok=0
+for attempt in 1 2 3; do
+  if go run ./cmd/benchmarks -exp intervals -intervalsjson BENCH_intervals.json; then
+    intervals_ok=1
+    break
+  fi
+  echo "intervals smoke attempt ${attempt} failed; retrying in a fresh process" >&2
+done
+if [ "${intervals_ok}" -ne 1 ]; then
+  echo "intervals smoke failed 3 consecutive attempts — treating as a real regression" >&2
   exit 1
 fi
 
