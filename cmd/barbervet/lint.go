@@ -110,6 +110,7 @@ func LintDir(dir string) ([]Finding, error) {
 	inInternal, inCmd := classifyDir(dir)
 	instrumented := isInstrumentedDir(dir)
 	floatStrict := isFloatStrictDir(dir)
+	slotOwner := isSlotOwnerDir(dir)
 
 	var findings []Finding
 	report := func(pos token.Pos, code, msg string) {
@@ -125,6 +126,9 @@ func LintDir(dir string) ([]Finding, error) {
 			if inInternal {
 				checkUnseededRand(pf.file, report)
 				checkContextDiscipline(pf.file, report)
+				if !slotOwner {
+					checkLiteralSlotWrite(pf.file, report)
+				}
 			}
 			if !inCmd && pf.file.Name.Name != "main" {
 				checkFmtPrint(pf.file, report)
@@ -658,6 +662,67 @@ func checkFloatEquality(f *ast.File, d *floatDecls, report func(token.Pos, strin
 			return true
 		})
 	}
+}
+
+// slotOwnerPkgs are the internal packages allowed to write a compiled
+// statement's literal slots (R008): internal/plan owns slot assignment (the
+// CostReplan baseline's AssignSlots), and internal/sqlparser owns the AST
+// types themselves. Everywhere else a `.Value =` write on an AST literal
+// mutates a skeleton that concurrent lock-free probes are reading; values
+// must travel through a value environment (CompiledQuery.BindEnv/BindParams)
+// instead.
+var slotOwnerPkgs = map[string]bool{"plan": true, "sqlparser": true}
+
+// isSlotOwnerDir reports whether the directory lies inside internal/plan or
+// internal/sqlparser (any depth). Like classifyDir it looks only at the
+// segments after the innermost testdata so fixtures can emulate placement.
+func isSlotOwnerDir(path string) bool {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		abs = path
+	}
+	parts := strings.Split(filepath.ToSlash(abs), "/")
+	for i := len(parts) - 1; i >= 0; i-- {
+		if parts[i] == "testdata" {
+			parts = parts[i+1:]
+			break
+		}
+	}
+	for i, p := range parts {
+		if p == "internal" && i+1 < len(parts) && slotOwnerPkgs[parts[i+1]] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLiteralSlotWrite flags assignments into a `.Value` field in files that
+// import the SQL AST package (R008). After plan compilation the only legal
+// carrier for probe values is the immutable value environment; writing a
+// literal slot from engine, exec, profiler, or any other non-owner package
+// re-introduces the shared-AST mutation that serialized measured probes.
+// The check is syntactic (no type information), so it keys on the AST import:
+// a file that never imports internal/sqlparser cannot hold an AST literal.
+func checkLiteralSlotWrite(f *ast.File, report func(token.Pos, string, string)) {
+	if importName(f, "sqlbarber/internal/sqlparser") == "" {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Value" {
+				continue
+			}
+			report(sel.Pos(), "R008",
+				"write to a compiled statement's literal slot outside internal/plan; "+
+					"probe values must travel through the value environment (CompiledQuery.BindEnv/BindParams), never AST mutation")
+		}
+		return true
+	})
 }
 
 // dbErrMethods are engine.DB methods whose last return is an error; calling

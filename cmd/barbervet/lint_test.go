@@ -172,6 +172,67 @@ func TestIsFloatStrictDir(t *testing.T) {
 	}
 }
 
+// TestSlotFixtureTripsR008 asserts the badslot fixture (which emulates an
+// internal/engine file importing the AST package) produces exactly the two
+// pinned R008 findings: a direct literal-slot write and the pre-session
+// slot-assignment loop.
+func TestSlotFixtureTripsR008(t *testing.T) {
+	findings, err := LintDir(filepath.Join("testdata", "internal", "engine", "badslot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r008 int
+	for _, f := range findings {
+		if f.Code == "R008" {
+			r008++
+		} else {
+			t.Errorf("unexpected non-R008 finding: %v", f)
+		}
+		if f.Pos.Filename == "" || f.Pos.Line == 0 {
+			t.Errorf("finding %s has no position", f.Code)
+		}
+	}
+	if r008 != 2 {
+		t.Errorf("R008 fired %d time(s), want 2 (direct write, loop write): %v", r008, findings)
+	}
+}
+
+// TestSlotRuleScopedToASTImporters asserts R008 stays silent in files that do
+// not import the AST package: badpkg assigns freely to its own fields.
+func TestSlotRuleScopedToASTImporters(t *testing.T) {
+	findings, err := LintDir(filepath.Join("testdata", "internal", "badpkg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Code == "R008" {
+			t.Errorf("R008 fired in a file that never imports the AST package: %v", f)
+		}
+	}
+}
+
+// TestIsSlotOwnerDir checks testdata-aware slot-owner path detection: the
+// packages allowed to write literal slots are internal/plan and
+// internal/sqlparser only.
+func TestIsSlotOwnerDir(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"/repo/internal/plan", true},
+		{"/repo/internal/sqlparser", true},
+		{"/repo/internal/engine", false},
+		{"/repo/internal/exec", false},
+		{"/repo/cmd/barbervet/testdata/internal/plan/badfloat", true},
+		{"/repo/cmd/barbervet/testdata/internal/engine/badslot", false},
+	}
+	for _, tc := range cases {
+		if got := isSlotOwnerDir(tc.path); got != tc.want {
+			t.Errorf("isSlotOwnerDir(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}
+
 // TestLinterIsCleanOnItself asserts barbervet's own sources pass.
 func TestLinterIsCleanOnItself(t *testing.T) {
 	findings, err := LintDir(".")

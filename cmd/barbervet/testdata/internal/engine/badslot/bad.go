@@ -1,0 +1,20 @@
+// Package badslot is a barbervet fixture for R008: engine-layer code writing
+// probe values into a compiled statement's literal slots instead of binding a
+// value environment. It lives under testdata so the go tool never builds it;
+// the linter's tests point at this directory and expect R008 findings.
+package badslot
+
+import "sqlbarber/internal/sqlparser"
+
+// Poke mutates the shared compiled AST directly: R008.
+func Poke(lit *sqlparser.Literal, v sqlparser.Expr) {
+	lit.Value = nil
+}
+
+// PokeAll re-creates the pre-session binding loop — assigning every slot of a
+// compiled statement before execution: R008.
+func PokeAll(lits []*sqlparser.Literal) {
+	for i := range lits {
+		lits[i].Value = nil
+	}
+}

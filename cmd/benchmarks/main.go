@@ -23,13 +23,14 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7queries|fig7intervals|fig8a|fig8b|table2|analyzer|parallel|probe|obs|intervals|all")
+		exp       = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7queries|fig7intervals|fig8a|fig8b|table2|analyzer|parallel|probe|measured|obs|intervals|all")
 		scale     = flag.String("scale", "quick", "scale: quick|full")
 		seed      = flag.Int64("seed", 1, "random seed")
 		methods   = flag.String("methods", "", "comma-separated method subset (default: all five)")
 		csvDir    = flag.String("csvdir", "", "when set, also write plot-ready CSV files to this directory")
 		probeJSON = flag.String("probejson", "BENCH_probe.json", "where -exp probe writes its JSON result (empty to skip)")
-		probes    = flag.Int("probes", 0, "probes per template per arm for -exp probe (0 = default)")
+		probes    = flag.Int("probes", 0, "probes per template per arm for -exp probe/measured (0 = default)")
+		measJSON  = flag.String("measuredjson", "BENCH_measured.json", "where -exp measured writes its JSON result (empty to skip)")
 		intvJSON  = flag.String("intervalsjson", "BENCH_intervals.json", "where -exp intervals writes its JSON result (empty to skip)")
 	)
 	flag.Parse()
@@ -150,6 +151,7 @@ func main() {
 		return err
 	})
 	run("probe", func() error { _, err := r.RunProbeBench(ctx, w, *probeJSON, *probes); return err })
+	run("measured", func() error { _, err := r.RunMeasuredBench(ctx, w, *measJSON, *probes); return err })
 	run("obs", func() error { _, err := r.RunObsOverhead(ctx, w); return err })
 	run("intervals", func() error { _, err := r.RunIntervalsBench(ctx, w, *intvJSON); return err })
 }

@@ -1,0 +1,259 @@
+package benchmarks
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/prand"
+	"sqlbarber/internal/sqltypes"
+)
+
+// measuredScaleSF is the fixed TPC-H scale the measured-probe benchmark runs
+// at, independent of the -scale flag. Measured probes execute the statement,
+// so their cost splits into a per-probe planning share and an execution share
+// that grows with data volume; the benchmark isolates the planning share the
+// session path eliminates, which requires plan-heavy, execution-light
+// statements on a small database. At larger scales both arms converge on raw
+// execution time and the experiment stops measuring anything.
+const measuredScaleSF = 0.002
+
+// measuredTemplates is the workload mix for measured probing: multi-join
+// statements over the fixed-size dimension tables (region, nation, supplier)
+// with uncorrelated subqueries. Each uncorrelated subquery costs the re-plan
+// arm a full subplan compilation per probe but executes only once per
+// statement through the executor's subquery cache — exactly the
+// plan-heavy/execution-light shape where per-probe re-planning dominates.
+var measuredTemplates = []probeTemplate{
+	{
+		Name: "nation-supplier-subq2",
+		SQL: "SELECT n.n_regionkey, COUNT(*), SUM(s.s_acctbal), MIN(s.s_suppkey), MAX(n.n_nationkey) " +
+			"FROM nation AS n JOIN region AS r ON n.n_regionkey = r.r_regionkey " +
+			"JOIN supplier AS s ON s.s_nationkey = n.n_nationkey " +
+			"WHERE s.s_acctbal > {p_bal} AND n.n_nationkey <= {p_hi} " +
+			"AND EXISTS (SELECT 1 FROM part WHERE p_retailprice > {p_price}) " +
+			"AND s.s_suppkey IN (SELECT s2.s_suppkey FROM supplier AS s2 WHERE s2.s_acctbal > {p_min}) " +
+			"GROUP BY n.n_regionkey",
+		vals: func(seed int64, i int) map[string]sqltypes.Value {
+			rng := prand.New(seed, prand.StageProfile, int64(i))
+			return map[string]sqltypes.Value{
+				"p_bal":   sqltypes.NewFloat(-500 + rng.Float64()*9000),
+				"p_hi":    sqltypes.NewInt(5 + rng.Int63n(20)),
+				"p_price": sqltypes.NewFloat(1000 + rng.Float64()*400000),
+				"p_min":   sqltypes.NewFloat(rng.Float64() * 5000),
+			}
+		},
+	},
+	{
+		Name: "nation-supplier-subq4",
+		SQL: "SELECT n.n_regionkey, COUNT(*), SUM(s.s_acctbal), MIN(s.s_suppkey), MAX(n.n_nationkey) " +
+			"FROM nation AS n JOIN region AS r ON n.n_regionkey = r.r_regionkey " +
+			"JOIN supplier AS s ON s.s_nationkey = n.n_nationkey " +
+			"WHERE s.s_acctbal > {p_bal} AND n.n_nationkey <= {p_hi} " +
+			"AND EXISTS (SELECT 1 FROM part WHERE p_retailprice > {p_price}) " +
+			"AND s.s_suppkey IN (SELECT s2.s_suppkey FROM supplier AS s2 WHERE s2.s_acctbal > {p_min}) " +
+			"AND s.s_nationkey IN (SELECT n2.n_nationkey FROM nation AS n2 WHERE n2.n_regionkey >= {p_reg}) " +
+			"AND EXISTS (SELECT 1 FROM region AS r2 WHERE r2.r_regionkey <= {p_hi}) " +
+			"GROUP BY n.n_regionkey",
+		vals: func(seed int64, i int) map[string]sqltypes.Value {
+			rng := prand.New(seed, prand.StageSearch, int64(i))
+			return map[string]sqltypes.Value{
+				"p_bal":   sqltypes.NewFloat(-500 + rng.Float64()*9000),
+				"p_hi":    sqltypes.NewInt(5 + rng.Int63n(20)),
+				"p_price": sqltypes.NewFloat(1000 + rng.Float64()*400000),
+				"p_min":   sqltypes.NewFloat(rng.Float64() * 5000),
+				"p_reg":   sqltypes.NewInt(rng.Int63n(4)),
+			}
+		},
+	},
+}
+
+// MeasuredPoint is one (goroutines, arm timings) row of the measured-probe
+// experiment.
+type MeasuredPoint struct {
+	Goroutines    int     `json:"goroutines"`
+	ReplanNS      int64   `json:"replan_ns"`
+	SessionNS     int64   `json:"session_ns"`
+	ReplanPerSec  float64 `json:"replan_probes_per_sec"`
+	SessionPerSec float64 `json:"session_probes_per_sec"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// MeasuredBenchResult is the JSON artifact -exp measured writes
+// (BENCH_measured.json).
+type MeasuredBenchResult struct {
+	Probes    int             `json:"probes_per_arm"`
+	Templates int             `json:"templates"`
+	ScaleSF   float64         `json:"scale_sf"`
+	Hash      string          `json:"probe_hash"`
+	Points    []MeasuredPoint `json:"points"`
+}
+
+// measuredSchedule precomputes the deterministic binding schedule, indexed
+// [probe][template], outside the timed region.
+func measuredSchedule(seed int64, probes int) [][]map[string]sqltypes.Value {
+	sched := make([][]map[string]sqltypes.Value, probes)
+	for i := range sched {
+		row := make([]map[string]sqltypes.Value, len(measuredTemplates))
+		for t, tmpl := range measuredTemplates {
+			row[t] = tmpl.vals(seed, i)
+		}
+		sched[i] = row
+	}
+	return sched
+}
+
+// runMeasuredArm executes the measured schedule across g goroutines, each
+// owning a contiguous slice of the probe index range and its own engine
+// Session, writing costs into fixed slots so the result is schedule-ordered
+// regardless of interleaving. cost is the per-probe call under test.
+func runMeasuredArm(ctx context.Context, db *engine.DB, g int, sched [][]map[string]sqltypes.Value,
+	cost func(ctx context.Context, s *engine.Session, t int, vals map[string]sqltypes.Value) (float64, error)) ([]float64, time.Duration, error) {
+	probes := len(sched)
+	costs := make([]float64, probes*len(measuredTemplates))
+	errs := make([]error, g)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		lo := w * probes / g
+		hi := (w + 1) * probes / g
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := db.NewSession()
+			for i := lo; i < hi; i++ {
+				for t := range measuredTemplates {
+					c, err := cost(ctx, s, t, sched[i][t])
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					costs[i*len(measuredTemplates)+t] = c
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return costs, elapsed, nil
+}
+
+// RunMeasuredBench benchmarks lock-free measured probing (Session.Cost with
+// RowsProcessed: execute the immutable compiled skeleton under a per-session
+// value environment and arena) against the pre-session baseline
+// (Prepared.CostReplan: assign literal slots and re-plan the bound AST under
+// a mutex, then execute) at several goroutine counts. Both arms run the
+// identical deterministic probe schedule over a plan-heavy two-template mix
+// on a fixed small TPC-H instance (see measuredScaleSF); the benchmark
+// verifies bit-identical RowsProcessed costs per probe and via a sweep hash,
+// identical execute-counter movement, per-probe session accounting, and that
+// the session arm reaches at least 2x the baseline's throughput at 8
+// goroutines. When jsonPath is non-empty the result table is also written
+// there as JSON (BENCH_measured.json).
+func (r *Runner) RunMeasuredBench(ctx context.Context, w io.Writer, jsonPath string, probes int) (*MeasuredBenchResult, error) {
+	if probes <= 0 {
+		probes = 2000
+	}
+	db := TPCH.Open(r.Seed, measuredScaleSF)
+	preps := make([]*engine.Prepared, len(measuredTemplates))
+	for i, tmpl := range measuredTemplates {
+		p, err := db.Prepare(tmpl.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("benchmarks: measured template %s: %w", tmpl.Name, err)
+		}
+		preps[i] = p
+	}
+	session := func(ctx context.Context, s *engine.Session, t int, vals map[string]sqltypes.Value) (float64, error) {
+		return s.Cost(ctx, preps[t], vals, engine.RowsProcessed)
+	}
+	replan := func(ctx context.Context, _ *engine.Session, t int, vals map[string]sqltypes.Value) (float64, error) {
+		return preps[t].CostReplan(ctx, vals, engine.RowsProcessed)
+	}
+
+	res := &MeasuredBenchResult{
+		Probes:    probes * len(measuredTemplates),
+		Templates: len(measuredTemplates),
+		ScaleSF:   measuredScaleSF,
+	}
+	sched := measuredSchedule(r.Seed, probes)
+	fmt.Fprintf(w, "=== Measured-probe microbenchmark | %d templates x %d probes on TPC-H sf=%.3f ===\n",
+		len(measuredTemplates), probes, measuredScaleSF)
+	total := int64(probes * len(measuredTemplates))
+	for _, g := range []int{1, 2, 8} {
+		before := db.ExecCalls()
+		replanCosts, replanTime, err := runMeasuredArm(ctx, db, g, sched, replan)
+		if err != nil {
+			return nil, err
+		}
+		replanCalls := db.ExecCalls() - before
+		before = db.ExecCalls()
+		sessBefore := db.SessionProbes()
+		sessionCosts, sessionTime, err := runMeasuredArm(ctx, db, g, sched, session)
+		if err != nil {
+			return nil, err
+		}
+		sessionCalls := db.ExecCalls() - before
+		if sessionCalls != replanCalls {
+			return nil, fmt.Errorf("benchmarks: measured counter parity broken at g=%d: session moved exec_calls by %d, replan by %d",
+				g, sessionCalls, replanCalls)
+		}
+		if moved := db.SessionProbes() - sessBefore; moved != total {
+			return nil, fmt.Errorf("benchmarks: measured session accounting broken at g=%d: %d session probes for %d probes",
+				g, moved, total)
+		}
+		for i := range replanCosts {
+			if sessionCosts[i] != replanCosts[i] {
+				return nil, fmt.Errorf("benchmarks: measured cost diverged at g=%d index %d: session %.9g != replan %.9g",
+					g, i, sessionCosts[i], replanCosts[i])
+			}
+		}
+		hash := probeHash(sessionCosts)
+		if res.Hash == "" {
+			res.Hash = hash
+		} else if hash != res.Hash {
+			return nil, fmt.Errorf("benchmarks: measured probe hash drifted at g=%d: %s != %s", g, hash, res.Hash)
+		}
+		pt := MeasuredPoint{
+			Goroutines:    g,
+			ReplanNS:      replanTime.Nanoseconds(),
+			SessionNS:     sessionTime.Nanoseconds(),
+			ReplanPerSec:  float64(total) / replanTime.Seconds(),
+			SessionPerSec: float64(total) / sessionTime.Seconds(),
+		}
+		pt.Speedup = pt.SessionPerSec / pt.ReplanPerSec
+		res.Points = append(res.Points, pt)
+		fmt.Fprintf(w, "goroutines=%-3d replan=%-10.0f probes/s  session=%-10.0f probes/s  speedup=%.2fx\n",
+			g, pt.ReplanPerSec, pt.SessionPerSec, pt.Speedup)
+	}
+	fmt.Fprintf(w, "all arms bit-identical: probe hash %s, counter parity held\n", res.Hash)
+	for _, pt := range res.Points {
+		if pt.Speedup <= 1 {
+			return nil, fmt.Errorf("benchmarks: session probing did not beat re-planning at g=%d (%.2fx)",
+				pt.Goroutines, pt.Speedup)
+		}
+		if pt.Goroutines == 8 && pt.Speedup < 2 {
+			return nil, fmt.Errorf("benchmarks: session probing below the 2x bar at g=8 (%.2fx)", pt.Speedup)
+		}
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return res, nil
+}

@@ -8,7 +8,7 @@ import (
 	"context"
 	"fmt"
 	"os"
-	"regexp"
+	"sync"
 	"time"
 
 	"sqlbarber/internal/catalog"
@@ -17,6 +17,7 @@ import (
 	"sqlbarber/internal/obs"
 	"sqlbarber/internal/plan"
 	"sqlbarber/internal/sqlparser"
+	"sqlbarber/internal/sqltypes"
 	"sqlbarber/internal/storage"
 )
 
@@ -37,6 +38,12 @@ const (
 	// query. Unlike ExecTimeMS it is reproducible across machines.
 	RowsProcessed
 )
+
+// Measured reports whether the kind requires actually executing the query
+// (as opposed to an optimizer estimate).
+func (k CostKind) Measured() bool {
+	return k == ExecTimeMS || k == RowsProcessed
+}
 
 // String names the cost kind.
 func (k CostKind) String() string {
@@ -65,6 +72,10 @@ type ExplainResult struct {
 type DB struct {
 	store *storage.Database
 	plans *planCache
+	// sessions pools execution sessions for probe paths that do not manage
+	// their own (Prepared.Cost on a measured kind): arenas survive across
+	// borrowings instead of being rebuilt per probe.
+	sessions sync.Pool
 
 	// The evaluation counters are obs.Counters so an observability
 	// collector can adopt them directly (BindObs): the exported db_*
@@ -78,6 +89,11 @@ type DB struct {
 	// Probe schedules are seed-deterministic, so both are stable metrics.
 	preparedProbes  obs.Counter
 	preparedBatches obs.Counter
+	// sessionsOpened counts NewSession calls (explicit plus pool misses) —
+	// scheduling-dependent, exported volatile. sessionProbes counts measured
+	// probes served through sessions — schedule-deterministic, stable.
+	sessionsOpened obs.Counter
+	sessionProbes  obs.Counter
 }
 
 // planCacheSize bounds the ad-hoc plan LRU's entry count; templates go
@@ -153,6 +169,14 @@ func (db *DB) PreparedProbes() int64 { return db.preparedProbes.Load() }
 // PreparedBatches reports how many Prepared.CostBatch sweeps were served.
 func (db *DB) PreparedBatches() int64 { return db.preparedBatches.Load() }
 
+// SessionsOpened reports how many execution sessions were opened (explicit
+// NewSession calls plus pool misses). Scheduling-dependent under parallelism.
+func (db *DB) SessionsOpened() int64 { return db.sessionsOpened.Load() }
+
+// SessionProbes reports how many measured-kind probes were served through
+// execution sessions. Deterministic for a given seed and configuration.
+func (db *DB) SessionProbes() int64 { return db.sessionProbes.Load() }
+
 // ResetCounters zeroes the instrumentation counters.
 func (db *DB) ResetCounters() {
 	db.explainCount.Store(0)
@@ -160,6 +184,8 @@ func (db *DB) ResetCounters() {
 	db.validateCount.Store(0)
 	db.preparedProbes.Store(0)
 	db.preparedBatches.Store(0)
+	db.sessionsOpened.Store(0)
+	db.sessionProbes.Store(0)
 	db.plans.hits.Store(0)
 	db.plans.misses.Store(0)
 }
@@ -185,6 +211,8 @@ func (db *DB) BindObs(b obs.Binder) {
 	b.BindCounter(obs.MDBPlanCacheMisses, &db.plans.misses, true)
 	b.BindCounter(obs.MDBPreparedProbes, &db.preparedProbes, false)
 	b.BindCounter(obs.MDBPreparedBatches, &db.preparedBatches, false)
+	b.BindCounter(obs.MDBSessionsOpened, &db.sessionsOpened, true)
+	b.BindCounter(obs.MDBSessionProbes, &db.sessionProbes, false)
 }
 
 // planSQL parses and plans ad-hoc SQL, memoizing successful plans in a
@@ -307,17 +335,19 @@ func (db *DB) ValidateSyntax(sql string) (bool, string) {
 	if err != nil {
 		return false, err.Error()
 	}
-	// Re-parse a rendered copy with placeholders replaced by 0 so binding
-	// can proceed without mutating the caller's AST.
-	probe := placeholderRe.ReplaceAllString(stmt.SQL(), "0")
-	probed, err := sqlparser.Parse(probe)
-	if err != nil {
-		return false, err.Error()
-	}
-	if _, err := plan.Build(db.store.Schema, probed); err != nil {
+	// Substitute placeholders on the AST, never in the SQL text: a textual
+	// rewrite cannot tell a placeholder token from a brace that happens to
+	// sit inside a string literal, and corrupting such a literal flips the
+	// verdict. The statement is freshly parsed and private to this call, so
+	// rewriting it in place is safe.
+	stmt.RewriteExprs(func(e sqlparser.Expr) sqlparser.Expr {
+		if _, ok := e.(*sqlparser.Placeholder); ok {
+			return &sqlparser.Literal{Value: sqltypes.NewInt(0)}
+		}
+		return e
+	})
+	if _, err := plan.Build(db.store.Schema, stmt); err != nil {
 		return false, err.Error()
 	}
 	return true, ""
 }
-
-var placeholderRe = regexp.MustCompile(`\{[^{}]*\}`)

@@ -158,6 +158,16 @@ func TestValidateSyntax(t *testing.T) {
 	}{
 		{"SELECT o_orderkey FROM orders WHERE o_totalprice > {p_1}", true},
 		{"SELECT COUNT(*) FROM lineitem WHERE l_quantity BETWEEN {p_1} AND {p_2}", true},
+		// Placeholder substitution happens on the AST, so braces inside
+		// string literals survive. A textual rewrite used to splice the span
+		// between the two literals' braces into "0", turning this valid
+		// statement into a parse error.
+		{"SELECT COUNT(*) FROM orders WHERE o_orderstatus BETWEEN '{' AND '}'", true},
+		// A placeholder-shaped token inside a string literal is data, not a
+		// placeholder; it must reach the planner untouched.
+		{"SELECT o_orderkey FROM orders WHERE o_orderstatus LIKE '%{p_1}%'", true},
+		// Real placeholders and brace-bearing literals can coexist.
+		{"SELECT o_orderkey FROM orders WHERE o_totalprice > {p_1} AND o_orderstatus <> '{'", true},
 		{"SELECT nosuchcol FROM orders", false},
 		{"SELECT o_orderkey FROM nosuchtable", false},
 		{"SELECT FROM WHERE", false},

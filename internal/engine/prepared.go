@@ -13,23 +13,24 @@ import (
 )
 
 // Prepared is a template whose SQL has been lexed, parsed, placeholder-
-// bound, and plan-compiled exactly once (plan.Compile). Optimizer-estimated
-// probes (Cardinality, PlanCost) run through the compiled parametric plan:
-// values are passed into the immutable skeleton, nothing is locked, nothing
-// is mutated, and any number of goroutines may probe one Prepared
-// concurrently — this is the hot path of §5.1 profiling sweeps and §5.3 BO
-// search. Measured probes (ExecTimeMS, RowsProcessed) must materialize the
-// values into the AST and execute, so they serialize on an internal mutex;
-// they never block the estimate path.
+// bound, and plan-compiled exactly once (plan.Compile). Every probe kind runs
+// lock-free against the immutable compiled skeleton: optimizer-estimated
+// probes (Cardinality, PlanCost) evaluate through the parametric-plan
+// estimator, and measured probes (ExecTimeMS, RowsProcessed) execute the
+// skeleton under an immutable value environment (plan.BindParams) inside an
+// engine Session. Nothing is written into the AST after Compile, so any
+// number of goroutines may mix probe kinds on one Prepared concurrently —
+// this is the hot path of §5.1 profiling sweeps and §5.3 BO search.
 type Prepared struct {
 	db   *DB
 	text string
 	cq   *plan.CompiledQuery
 
-	// execMu serializes measured-kind probes and CostReplan: both assign
-	// values into the compiled statement's literal slots and re-plan or
-	// execute the bound AST.
-	execMu sync.Mutex
+	// replanMu serializes CostReplan only — the pre-compilation baseline that
+	// assigns values into the statement's literal slots and re-plans the
+	// bound AST. It exists for benchmarks and differential tests; no
+	// production probe path takes it.
+	replanMu sync.Mutex
 }
 
 // Prepare parses and plan-compiles the template SQL once. The compiled
@@ -57,11 +58,11 @@ func (p *Prepared) Placeholders() []string { return p.cq.Placeholders() }
 
 // Cost evaluates the template at the given placeholder values under the
 // requested metric. Values are validated and normalized before anything
-// else — a probe with missing placeholders has no effect. Estimate kinds
-// never lock and never touch the AST; measured kinds serialize on the
-// internal exec mutex. Cost increments the same DBMS-evaluation counters as
-// DB.Cost, so a prepared run reports identical evaluation counts to a
-// re-parse run.
+// else — a probe with missing placeholders has no effect. No kind locks or
+// touches the AST: estimate kinds go through the compiled evaluator, measured
+// kinds borrow a pooled Session and execute under a value environment. Cost
+// increments the same DBMS-evaluation counters as DB.Cost, so a prepared run
+// reports identical evaluation counts to a re-parse run.
 func (p *Prepared) Cost(ctx context.Context, vals map[string]sqltypes.Value, kind CostKind) (float64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
@@ -116,19 +117,92 @@ func (p *Prepared) costParams(params []sqltypes.Value, kind CostKind) (float64, 
 		}
 		return est.Cost, nil
 	default:
-		v, err := p.replanParams(params, kind)
-		if err == nil {
-			p.db.preparedProbes.Add(1)
-		}
-		return v, err
+		s := p.db.getSession()
+		defer p.db.putSession(s)
+		return s.execParams(p, params, kind)
 	}
 }
 
+// CostBatchParallel evaluates a sweep of placeholder bindings across
+// per-worker sessions. Unlike CostBatch it has attempt-all semantics: every
+// binding is validated up front (any invalid probe fails the whole sweep
+// before anything is evaluated), then every probe is attempted regardless of
+// other probes' failures, and the first error in probe order is returned with
+// the full cost vector. Counter movement is therefore a function of the probe
+// schedule alone — identical at every parallel level — which is what lets the
+// profiler fan measured sweeps out without perturbing the deterministic
+// snapshot. The db_prepared_batches counter increments once per sweep, like
+// CostBatch.
+func (p *Prepared) CostBatchParallel(ctx context.Context, vals []map[string]sqltypes.Value, kind CostKind, parallel int) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	paramsList := make([][]sqltypes.Value, len(vals))
+	for i, m := range vals {
+		ps, err := p.cq.BindVals(m)
+		if err != nil {
+			return nil, fmt.Errorf("engine: prepared cost: %w", err)
+		}
+		paramsList[i] = ps
+	}
+	p.db.preparedBatches.Add(1)
+	out := make([]float64, len(vals))
+	errs := make([]error, len(vals))
+	workers := parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(vals) {
+		workers = len(vals)
+	}
+	serve := func(s *Session, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
+			out[i], errs[i] = s.costParams(p, paramsList[i], kind)
+		}
+	}
+	if workers <= 1 {
+		s := p.db.getSession()
+		serve(s, 0, len(paramsList))
+		p.db.putSession(s)
+	} else {
+		// Contiguous ranges: each worker sweeps its own slice of the probe
+		// schedule with its own session, writing into fixed output slots.
+		var wg sync.WaitGroup
+		per := (len(paramsList) + workers - 1) / workers
+		for lo := 0; lo < len(paramsList); lo += per {
+			hi := lo + per
+			if hi > len(paramsList) {
+				hi = len(paramsList)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				s := p.db.getSession()
+				defer p.db.putSession(s)
+				serve(s, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("engine: prepared cost: probe %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
 // CostReplan is the pre-compilation baseline: assign the values into the
-// AST's literal slots under a lock and re-run the full planner. Measured
-// cost kinds go through it (execution needs the bound AST), and the
-// `-exp probe` microbenchmark uses it as the re-plan arm that compiled
-// probing is measured against. Results are bit-identical to Cost.
+// AST's literal slots under a lock and re-run the full planner (and, for
+// measured kinds, execute the re-built bound plan). The `-exp probe` and
+// `-exp measured` microbenchmarks use it as the serialized re-plan arm that
+// compiled lock-free probing is measured against, and the differential tests
+// use it as the literal-materialized reference. Results are bit-identical to
+// Cost; production probe paths never come here.
 func (p *Prepared) CostReplan(ctx context.Context, vals map[string]sqltypes.Value, kind CostKind) (float64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
@@ -141,12 +215,13 @@ func (p *Prepared) CostReplan(ctx context.Context, vals map[string]sqltypes.Valu
 }
 
 // replanParams materializes the probe values into the compiled statement and
-// re-plans it from the AST, serialized on execMu. The estimate path never
-// reads the literal slots (values travel through the evaluation environment
-// instead), so concurrent estimate probes are unaffected by the mutation.
+// re-plans it from the AST, serialized on replanMu. Neither the estimate path
+// nor the session execution path ever reads the literal slots (values travel
+// through their value environments instead), so concurrent probes of any kind
+// are unaffected by the mutation.
 func (p *Prepared) replanParams(params []sqltypes.Value, kind CostKind) (float64, error) {
-	p.execMu.Lock()
-	defer p.execMu.Unlock()
+	p.replanMu.Lock()
+	defer p.replanMu.Unlock()
 	p.cq.AssignSlots(params)
 	q, err := plan.Build(p.db.store.Schema, p.cq.Stmt())
 	if err != nil {

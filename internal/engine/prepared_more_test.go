@@ -138,8 +138,9 @@ func TestPreparedCostBatchPartialOnError(t *testing.T) {
 
 // TestPreparedConcurrentProbes hammers one Prepared from 8 goroutines under
 // the race detector: concurrent lock-free estimate probes (Cost and
-// CostBatch) interleaved with measured probes that assign the AST's literal
-// slots and execute. Every result must equal the single-threaded reference.
+// CostBatch) interleaved with measured probes that execute the skeleton under
+// a per-session value environment. Every result must equal the
+// single-threaded reference.
 func TestPreparedConcurrentProbes(t *testing.T) {
 	db := testDB(t)
 	ctx := context.Background()
@@ -178,8 +179,8 @@ func TestPreparedConcurrentProbes(t *testing.T) {
 				i := (g + it) % bindings
 				switch {
 				case it%40 == 13:
-					// Measured probe: assigns literal slots under the
-					// exec mutex while estimate probes keep running.
+					// Measured probe: executes lock-free through a pooled
+					// session while estimate probes keep running.
 					c, err := prep.Cost(ctx, valsAt(i), RowsProcessed)
 					if err != nil {
 						fail(err)

@@ -194,7 +194,7 @@ func (ex *executor) aggregate(q *plan.Query, parent *env, tuples [][]storage.Row
 	}
 	// A global aggregate over zero rows still produces one group.
 	if len(q.Stmt.GroupBy) == 0 && len(groups) == 0 {
-		grp := &group{repr: make([]storage.Row, len(q.Binding.Scope.Tables)),
+		grp := &group{repr: ex.window(len(q.Binding.Scope.Tables)),
 			states: make([]*aggState, len(calls))}
 		for i, c := range calls {
 			grp.states[i] = newAggState(c)

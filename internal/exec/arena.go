@@ -1,0 +1,95 @@
+package exec
+
+import "sqlbarber/internal/storage"
+
+// Arena is per-probe executor scratch: tuple windows (the []storage.Row
+// slices that hold one row per table instance) come from reusable chunks, and
+// join hash tables come from a free list. A session that executes many probes
+// resets the arena between them instead of handing each probe's intermediate
+// state to the garbage collector. Output rows are never arena-backed — a
+// Result must stay valid after Reset.
+//
+// An Arena is single-goroutine state: one arena belongs to one session, and
+// nested use (a subquery hash-joining while the outer join's table is live)
+// is safe because tables are checked out of the free list, not shared.
+type Arena struct {
+	chunks [][]storage.Row
+	cur    int // chunk currently being carved
+	off    int // next free index in chunks[cur]
+	tables []map[uint64][]storage.Row
+}
+
+// arenaChunkRows is the default chunk capacity; windows larger than this get
+// a dedicated chunk.
+const arenaChunkRows = 4096
+
+// Reset recycles everything handed out since the last Reset. The caller must
+// not touch previously returned windows or tables afterwards.
+func (a *Arena) Reset() {
+	a.cur = 0
+	a.off = 0
+}
+
+// window carves a zeroed n-row tuple window. Chunks already carved in this
+// probe stay live (outstanding windows alias them); Reset reclaims them all.
+func (a *Arena) window(n int) []storage.Row {
+	if a.cur < len(a.chunks) && a.off+n > len(a.chunks[a.cur]) {
+		a.cur++
+		a.off = 0
+	}
+	if a.cur >= len(a.chunks) {
+		size := arenaChunkRows
+		if n > size {
+			size = n
+		}
+		a.chunks = append(a.chunks, make([]storage.Row, size))
+		a.cur = len(a.chunks) - 1
+		a.off = 0
+	}
+	w := a.chunks[a.cur][a.off : a.off+n : a.off+n]
+	a.off += n
+	for i := range w {
+		w[i] = nil
+	}
+	return w
+}
+
+// getTable checks a hash table out of the free list (cleared) or allocates
+// one sized for the build side.
+func (a *Arena) getTable(sizeHint int) map[uint64][]storage.Row {
+	if n := len(a.tables); n > 0 {
+		t := a.tables[n-1]
+		a.tables = a.tables[:n-1]
+		clear(t)
+		return t
+	}
+	return make(map[uint64][]storage.Row, sizeHint)
+}
+
+// putTable returns a hash table to the free list once the join is done with
+// it.
+func (a *Arena) putTable(t map[uint64][]storage.Row) {
+	a.tables = append(a.tables, t)
+}
+
+// window allocates through the executor's arena when one is attached, and
+// falls back to plain allocation for arena-free runs (DB.Execute, tests).
+func (ex *executor) window(n int) []storage.Row {
+	if ex.ar == nil {
+		return make([]storage.Row, n)
+	}
+	return ex.ar.window(n)
+}
+
+func (ex *executor) getTable(sizeHint int) map[uint64][]storage.Row {
+	if ex.ar == nil {
+		return make(map[uint64][]storage.Row, sizeHint)
+	}
+	return ex.ar.getTable(sizeHint)
+}
+
+func (ex *executor) putTable(t map[uint64][]storage.Row) {
+	if ex.ar != nil {
+		ex.ar.putTable(t)
+	}
+}

@@ -12,6 +12,11 @@ import (
 func (ex *executor) eval(e sqlparser.Expr, en *env) (sqltypes.Value, error) {
 	switch t := e.(type) {
 	case *sqlparser.Literal:
+		if ex.bound != nil {
+			if v, ok := ex.bound.LiteralValue(t); ok {
+				return v, nil
+			}
+		}
 		return t.Value, nil
 	case *sqlparser.Placeholder:
 		return sqltypes.Null, rtErrf("placeholder {%s} reached the executor", t.Name)

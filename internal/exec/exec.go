@@ -50,9 +50,37 @@ func Run(db *storage.Database, q *plan.Query) (*Result, error) {
 	return res, nil
 }
 
+// RunBound executes a compiled plan at one probe's value environment: slot
+// literals resolve through the bound view, the shared skeleton AST is never
+// written. Results are identical to Run over a plan built from the
+// value-substituted statement.
+func RunBound(db *storage.Database, bp *plan.BoundPlan) (*Result, error) {
+	return RunBoundArena(db, bp, nil)
+}
+
+// RunBoundArena is RunBound drawing per-probe scratch (tuple windows, join
+// hash tables) from the caller's arena. The caller resets the arena between
+// probes; the returned Result owns its rows and survives the reset.
+func RunBoundArena(db *storage.Database, bp *plan.BoundPlan, a *Arena) (*Result, error) {
+	ex := &executor{db: db, subCache: map[*sqlparser.SelectStmt]*Result{}, bound: bp, ar: a}
+	res, err := ex.runQuery(bp.Query(), nil)
+	if err != nil {
+		return nil, err
+	}
+	res.RowsTouched = ex.rowsTouched
+	return res, nil
+}
+
 type executor struct {
-	db          *storage.Database
-	subCache    map[*sqlparser.SelectStmt]*Result
+	db       *storage.Database
+	subCache map[*sqlparser.SelectStmt]*Result
+	// bound, when set, is the probe's immutable value environment: literal
+	// slots evaluate through it instead of the AST's neutral compile-time
+	// values.
+	bound *plan.BoundPlan
+	// ar, when set, supplies per-probe scratch; nil falls back to plain
+	// allocation.
+	ar          *Arena
 	rowsTouched int64
 }
 
@@ -142,7 +170,7 @@ func (ex *executor) joinPipeline(q *plan.Query, parent *env) ([][]storage.Row, e
 			return tbl.Rows, nil
 		}
 		var out []storage.Row
-		e := &env{q: q, rows: make([]storage.Row, n), parent: parent}
+		e := &env{q: q, rows: ex.window(n), parent: parent}
 		for _, r := range tbl.Rows {
 			e.rows[idx] = r
 			keep := true
@@ -168,7 +196,7 @@ func (ex *executor) joinPipeline(q *plan.Query, parent *env) ([][]storage.Row, e
 	}
 	tuples := make([][]storage.Row, len(left))
 	for i, r := range left {
-		tp := make([]storage.Row, n)
+		tp := ex.window(n)
 		tp[0] = r
 		tuples[i] = tp
 	}
@@ -189,7 +217,7 @@ func (ex *executor) joinPipeline(q *plan.Query, parent *env) ([][]storage.Row, e
 func (ex *executor) joinStep(q *plan.Query, parent *env, tuples [][]storage.Row, right []storage.Row, ji, rightIdx, n int) ([][]storage.Row, error) {
 	isLeft := q.Stmt.Joins[ji].Type == sqlparser.JoinLeft
 	extra := q.JoinExtra[ji]
-	e := &env{q: q, rows: make([]storage.Row, n), parent: parent}
+	e := &env{q: q, rows: ex.window(n), parent: parent}
 	checkExtra := func(tp []storage.Row, r storage.Row) (bool, error) {
 		copy(e.rows, tp)
 		e.rows[rightIdx] = r
@@ -206,7 +234,7 @@ func (ex *executor) joinStep(q *plan.Query, parent *env, tuples [][]storage.Row,
 	}
 	var out [][]storage.Row
 	emit := func(tp []storage.Row, r storage.Row) {
-		nt := make([]storage.Row, n)
+		nt := ex.window(n)
 		copy(nt, tp)
 		nt[rightIdx] = r
 		out = append(out, nt)
@@ -215,7 +243,7 @@ func (ex *executor) joinStep(q *plan.Query, parent *env, tuples [][]storage.Row,
 	if ek := q.JoinEqui[ji]; ek != nil {
 		lref := q.Binding.Cols[ek.Left]
 		rref := q.Binding.Cols[ek.Right]
-		ht := make(map[uint64][]storage.Row, len(right))
+		ht := ex.getTable(len(right))
 		for _, r := range right {
 			v := r[rref.ColIdx]
 			if v.IsNull() {
@@ -250,6 +278,7 @@ func (ex *executor) joinStep(q *plan.Query, parent *env, tuples [][]storage.Row,
 				emit(tp, nil)
 			}
 		}
+		ex.putTable(ht)
 		return out, nil
 	}
 	// Nested loop with arbitrary ON predicate (checkExtra holds all conds).

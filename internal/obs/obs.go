@@ -54,6 +54,11 @@ const (
 	// fixed by seed, so these are stable across worker counts).
 	MDBPreparedProbes  = "db_prepared_probes"
 	MDBPreparedBatches = "db_prepared_batches"
+	// Execution sessions (measured-kind probes). Opened-session count is
+	// volatile — it depends on pool scheduling and worker count — while the
+	// probe count follows the seed-fixed probe schedule and is stable.
+	MDBSessionsOpened = "db_sessions_opened"
+	MDBSessionProbes  = "db_session_probes"
 
 	// Generator / static-analyzer tier.
 	MGenAttempts       = "generator_attempts"

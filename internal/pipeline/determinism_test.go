@@ -38,20 +38,26 @@ func runSignature(res *Result) string {
 }
 
 // TestParallelByteIdentical is the repo's determinism contract for the whole
-// pipeline: on both datasets, -parallel 1, 2, and 8 must produce the exact
-// same workload, trajectory, stats, and templates — with and without a live
-// obs collector attached. Worker count is pure scheduling — every task draws
-// from a stream derived from its position, and merges happen in task order —
-// and observation is pure: attaching a collector must never perturb the run.
-// The folded stable metric snapshot must also be identical across worker
-// counts (volatile counters like plan-cache hits are excluded by Stable()).
+// pipeline: on each dataset/metric, -parallel 1, 2, and 8 must produce the
+// exact same workload, trajectory, stats, and templates — with and without a
+// live obs collector attached. Worker count is pure scheduling — every task
+// draws from a stream derived from its position, and merges happen in task
+// order — and observation is pure: attaching a collector must never perturb
+// the run. The folded stable metric snapshot must also be identical across
+// worker counts (volatile counters like plan-cache hits and opened sessions
+// are excluded by Stable()). The tpch-measured case pins the same contract
+// for a measured cost kind: RowsProcessed probes execute through concurrent
+// sessions, and workload bytes, DB-call counts, and session-probe counts must
+// still not move with the worker count.
 func TestParallelByteIdentical(t *testing.T) {
 	datasets := []struct {
 		name string
 		open func() *engine.DB
+		kind engine.CostKind
 	}{
-		{"tpch", func() *engine.DB { return engine.OpenTPCH(17, 0.05) }},
-		{"imdb", func() *engine.DB { return engine.OpenIMDB(17, 0.05) }},
+		{"tpch", func() *engine.DB { return engine.OpenTPCH(17, 0.05) }, engine.Cardinality},
+		{"imdb", func() *engine.DB { return engine.OpenIMDB(17, 0.05) }, engine.Cardinality},
+		{"tpch-measured", func() *engine.DB { return engine.OpenTPCH(17, 0.02) }, engine.RowsProcessed},
 	}
 	for _, ds := range datasets {
 		t.Run(ds.name, func(t *testing.T) {
@@ -62,7 +68,7 @@ func TestParallelByteIdentical(t *testing.T) {
 				cfg := Config{
 					DB:       ds.open(),
 					Oracle:   llm.NewSim(llm.SimOptions{Seed: 17}),
-					CostKind: engine.Cardinality,
+					CostKind: ds.kind,
 					Specs:    smallSpecs(),
 					Target:   stats.Uniform(0, 1200, 4, 40),
 					Seed:     17,

@@ -136,6 +136,12 @@ func TestObsCountersMatchSubsystemGetters(t *testing.T) {
 	if snap.Counter(obs.MDBPreparedProbes) == 0 || snap.Counter(obs.MDBPreparedBatches) == 0 {
 		t.Error("a full pipeline run must serve probes through compiled templates")
 	}
+	if got, want := snap.Counter(obs.MDBSessionsOpened), db.SessionsOpened(); got != want {
+		t.Errorf("%s = %d, DB reports %d", obs.MDBSessionsOpened, got, want)
+	}
+	if got, want := snap.Counter(obs.MDBSessionProbes), db.SessionProbes(); got != want {
+		t.Errorf("%s = %d, DB reports %d", obs.MDBSessionProbes, got, want)
+	}
 	// Result.DBCalls reads the same counters (fresh DB, so no baseline).
 	if got, want := res.DBCalls, snap.Counter(obs.MDBExplainCalls)+snap.Counter(obs.MDBExecCalls); got != want {
 		t.Errorf("Result.DBCalls = %d, snapshot explain+exec = %d", got, want)

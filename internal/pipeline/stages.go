@@ -121,6 +121,7 @@ func (profileStage) Run(ctx context.Context, rs *RunState) error {
 		Kind:                cfg.CostKind,
 		Seed:                cfg.Seed + 1,
 		IndependentSampling: cfg.Ablations.IndependentSampling,
+		Parallel:            cfg.Parallel,
 	}
 	var valid []*generator.Result
 	for _, gr := range rs.Res.GenResults {

@@ -163,6 +163,12 @@ type Profiler struct {
 	Seed int64
 	// IndependentSampling switches LHS off (ablation only).
 	IndependentSampling bool
+	// Parallel fans measured-kind LHS sweeps across that many execution
+	// sessions (CostBatchParallel). Zero or one keeps the sweep on a single
+	// session; estimate kinds are unaffected — their batched sweep is already
+	// lock-free. The probe schedule, observations, and counter movement are
+	// identical at every setting.
+	Parallel int
 	// Flat marks template IDs the static cost-interval analysis proved
 	// (near-)constant over their whole slot domain: the LHS sweep collapses
 	// to a single deterministic midpoint probe, since every probe would
@@ -240,7 +246,15 @@ func (p *Profiler) Profile(ctx context.Context, t *sqltemplate.Template, n int) 
 		}
 		raws[i], sqls[i], valsList[i] = raw, sql, vals
 	}
-	costs, err := prep.CostBatch(ctx, valsList, p.Kind)
+	var costs []float64
+	if p.Kind.Measured() {
+		// Measured sweeps fan across sessions. Routing through the parallel
+		// batch even at parallelism 1 keeps counter movement (attempt-all)
+		// invariant across worker counts.
+		costs, err = prep.CostBatchParallel(ctx, valsList, p.Kind, p.Parallel)
+	} else {
+		costs, err = prep.CostBatch(ctx, valsList, p.Kind)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("profiler: template %d probe failed: %w", t.ID, err)
 	}

@@ -37,7 +37,19 @@
 #                              beat re-planning. Refreshes BENCH_probe.json.
 #                              Timing-sensitive like the obs smoke, so it
 #                              gets the same 3-attempt fresh-process retry
-#   7. cmd/benchmarks -exp intervals
+#   7. cmd/benchmarks -exp measured
+#                            — the measured-probe smoke: executes the same
+#                              deterministic probe schedule through per-session
+#                              value-environment execution and through the
+#                              serialized re-plan baseline at 1/2/8
+#                              goroutines on a fixed small TPC-H instance,
+#                              failing on any RowsProcessed divergence,
+#                              probe-hash drift, counter disparity, or if the
+#                              session arm falls below 2x baseline throughput
+#                              at 8 goroutines. Refreshes BENCH_measured.json.
+#                              Timing-sensitive, so it gets the same 3-attempt
+#                              fresh-process retry
+#   8. cmd/benchmarks -exp intervals
 #                            — the static cost-interval smoke: runs the
 #                              pipeline with the intervals stage on and off
 #                              against a low-band plan-cost target, failing
@@ -92,6 +104,20 @@ for attempt in 1 2 3; do
 done
 if [ "${probe_ok}" -ne 1 ]; then
   echo "probe smoke failed 3 consecutive attempts — treating as a real regression" >&2
+  exit 1
+fi
+
+echo "== cmd/benchmarks -exp measured (measured-probe smoke) =="
+measured_ok=0
+for attempt in 1 2 3; do
+  if go run ./cmd/benchmarks -exp measured -measuredjson BENCH_measured.json; then
+    measured_ok=1
+    break
+  fi
+  echo "measured smoke attempt ${attempt} failed; retrying in a fresh process" >&2
+done
+if [ "${measured_ok}" -ne 1 ]; then
+  echo "measured smoke failed 3 consecutive attempts — treating as a real regression" >&2
   exit 1
 fi
 
