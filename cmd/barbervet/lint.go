@@ -111,6 +111,7 @@ func LintDir(dir string) ([]Finding, error) {
 	instrumented := isInstrumentedDir(dir)
 	floatStrict := isFloatStrictDir(dir)
 	slotOwner := isSlotOwnerDir(dir)
+	llmDir := isLLMDir(dir)
 
 	var findings []Finding
 	report := func(pos token.Pos, code, msg string) {
@@ -138,6 +139,9 @@ func LintDir(dir string) ([]Finding, error) {
 			}
 			if floatStrict {
 				checkFloatEquality(pf.file, fdecls, report)
+			}
+			if llmDir && filepath.Base(pf.path) != "clock.go" {
+				checkClockDiscipline(pf.file, report)
 			}
 			checkIgnoredDBError(pf.file, report)
 		}
@@ -753,6 +757,65 @@ func checkIgnoredDBError(f *ast.File, report func(token.Pos, string, string)) {
 		// explicit `_ =` assignment.
 		report(stmt.Pos(), "R004",
 			sel.Sel.Name+" returns an error that is discarded; handle it or assign to _ explicitly")
+		return true
+	})
+}
+
+// isLLMDir reports whether the directory lies inside internal/llm (any
+// depth, so internal/llm/resilience counts). Like classifyDir it looks only
+// at the segments after the innermost testdata so fixtures can emulate
+// placement.
+func isLLMDir(path string) bool {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		abs = path
+	}
+	parts := strings.Split(filepath.ToSlash(abs), "/")
+	for i := len(parts) - 1; i >= 0; i-- {
+		if parts[i] == "testdata" {
+			parts = parts[i+1:]
+			break
+		}
+	}
+	for i, p := range parts {
+		if p == "internal" && i+1 < len(parts) && parts[i+1] == "llm" {
+			return true
+		}
+	}
+	return false
+}
+
+// clockBypassFns are the time-package functions that block or schedule on
+// the real clock; in the oracle stack they must flow through llm.Clock.
+var clockBypassFns = map[string]bool{"Sleep": true, "After": true}
+
+// checkClockDiscipline flags direct time.Sleep/time.After calls in
+// internal/llm packages (R009). Every delay in the oracle stack — retry
+// backoff, hedge deadlines, rate-limiter waits, injected fault stalls —
+// must go through the llm.Clock abstraction so a FakeClock keeps tests
+// deterministic and free of wall-clock time. clock.go is the one exempt
+// file: it is the abstraction's own implementation.
+func checkClockDiscipline(f *ast.File, report func(token.Pos, string, string)) {
+	timeName := importName(f, "time")
+	if timeName == "" || timeName == "_" {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != timeName || !clockBypassFns[sel.Sel.Name] {
+			return true
+		}
+		report(call.Pos(), "R009",
+			"direct "+timeName+"."+sel.Sel.Name+" in internal/llm bypasses the Clock abstraction; "+
+				"take an llm.Clock (SystemClock in production, FakeClock in tests) so every delay stays deterministic")
 		return true
 	})
 }

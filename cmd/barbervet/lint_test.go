@@ -281,3 +281,66 @@ func TestClassifyDir(t *testing.T) {
 		}
 	}
 }
+
+// TestSleepFixtureTripsR009 asserts the badsleep fixture (which emulates an
+// internal/llm file sleeping on the real clock) produces exactly the two
+// pinned R009 findings — the time.Sleep and the time.After in bad.go — and
+// that clock.go, the abstraction's own implementation, stays exempt.
+func TestSleepFixtureTripsR009(t *testing.T) {
+	findings, err := LintDir(filepath.Join("testdata", "internal", "llm", "badsleep"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r009 int
+	for _, f := range findings {
+		if f.Code == "R009" {
+			r009++
+		} else {
+			t.Errorf("unexpected non-R009 finding: %v", f)
+		}
+		if filepath.Base(f.Pos.Filename) == "clock.go" {
+			t.Errorf("R009 fired in the exempt clock.go: %v", f)
+		}
+		if f.Pos.Filename == "" || f.Pos.Line == 0 {
+			t.Errorf("finding %s has no position", f.Code)
+		}
+	}
+	if r009 != 2 {
+		t.Errorf("R009 fired %d time(s), want 2 (time.Sleep, time.After): %v", r009, findings)
+	}
+}
+
+// TestClockRuleScopedToLLMDirs asserts R009 stays silent outside
+// internal/llm: badpkg may sleep freely.
+func TestClockRuleScopedToLLMDirs(t *testing.T) {
+	findings, err := LintDir(filepath.Join("testdata", "internal", "badpkg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Code == "R009" {
+			t.Errorf("R009 fired outside internal/llm: %v", f)
+		}
+	}
+}
+
+// TestIsLLMDir checks testdata-aware internal/llm path detection, including
+// subpackages like internal/llm/resilience.
+func TestIsLLMDir(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"/repo/internal/llm", true},
+		{"/repo/internal/llm/resilience", true},
+		{"/repo/internal/engine", false},
+		{"/repo/internal/pipeline", false},
+		{"/repo/cmd/barbervet/testdata/internal/llm/badsleep", true},
+		{"/repo/cmd/barbervet/testdata/internal/badpkg", false},
+	}
+	for _, tc := range cases {
+		if got := isLLMDir(tc.path); got != tc.want {
+			t.Errorf("isLLMDir(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}

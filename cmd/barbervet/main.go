@@ -36,6 +36,15 @@
 //	      as float64 when it is a float literal, a name or struct field
 //	      declared float64, a float64() conversion, a math.* call, or a
 //	      same-package call with a single float64 result.)
+//	R008  literal-slot write outside internal/plan: a `.Value =` assignment
+//	      on an AST literal in a file importing internal/sqlparser. Probe
+//	      values must travel through the value environment, never shared-AST
+//	      mutation.
+//	R009  real-clock sleep in internal/llm: a direct time.Sleep or
+//	      time.After call anywhere under internal/llm except clock.go.
+//	      Retry backoff, hedge deadlines, limiter waits, and fault stalls
+//	      must flow through the llm.Clock abstraction so a FakeClock keeps
+//	      oracle-stack tests deterministic and wall-clock free.
 //
 // Usage:
 //

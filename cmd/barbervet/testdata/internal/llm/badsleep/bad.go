@@ -1,0 +1,13 @@
+// Package badsleep is a barbervet fixture emulating an internal/llm file
+// that blocks on the real clock instead of going through the llm.Clock
+// abstraction. Both calls below are known-bad and pinned by the R009 test.
+package badsleep
+
+import "time"
+
+// Backoff sleeps the old-fashioned way; R009 must flag both the Sleep and
+// the After.
+func Backoff(d time.Duration) {
+	time.Sleep(d)
+	<-time.After(d)
+}

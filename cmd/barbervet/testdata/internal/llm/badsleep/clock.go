@@ -1,0 +1,9 @@
+// clock.go emulates the one file in internal/llm allowed to touch the real
+// timers — the Clock abstraction's own implementation. R009 must stay
+// silent here.
+package badsleep
+
+import "time"
+
+// RealSleep is the exempt system-clock implementation.
+func RealSleep(d time.Duration) { time.Sleep(d) }

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7queries|fig7intervals|fig8a|fig8b|table2|analyzer|parallel|probe|measured|obs|intervals|all")
+		exp       = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7queries|fig7intervals|fig8a|fig8b|table2|analyzer|parallel|probe|measured|obs|intervals|resilience|all")
 		scale     = flag.String("scale", "quick", "scale: quick|full")
 		seed      = flag.Int64("seed", 1, "random seed")
 		methods   = flag.String("methods", "", "comma-separated method subset (default: all five)")
@@ -32,6 +32,7 @@ func main() {
 		probes    = flag.Int("probes", 0, "probes per template per arm for -exp probe/measured (0 = default)")
 		measJSON  = flag.String("measuredjson", "BENCH_measured.json", "where -exp measured writes its JSON result (empty to skip)")
 		intvJSON  = flag.String("intervalsjson", "BENCH_intervals.json", "where -exp intervals writes its JSON result (empty to skip)")
+		resilJSON = flag.String("resiliencejson", "BENCH_resilience.json", "where -exp resilience writes its JSON result (empty to skip)")
 	)
 	flag.Parse()
 	if *csvDir != "" {
@@ -154,6 +155,7 @@ func main() {
 	run("measured", func() error { _, err := r.RunMeasuredBench(ctx, w, *measJSON, *probes); return err })
 	run("obs", func() error { _, err := r.RunObsOverhead(ctx, w); return err })
 	run("intervals", func() error { _, err := r.RunIntervalsBench(ctx, w, *intvJSON); return err })
+	run("resilience", func() error { _, err := r.RunResilienceBench(ctx, w, *resilJSON); return err })
 }
 
 // figure7Methods reduces to the three-series legend of Figure 7

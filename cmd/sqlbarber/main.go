@@ -47,6 +47,8 @@ func main() {
 		transcript = flag.String("transcript", "", "write a full LLM prompt/response transcript to this file")
 		llmURL     = flag.String("llm-url", "", "OpenAI-compatible endpoint; when set, a hosted model replaces the built-in simulated LLM")
 		llmModel   = flag.String("llm-model", "o3-mini", "chat model name for -llm-url")
+		llmCache   = flag.String("llm-cache", "", "persistent prompt-cache directory; a warm rerun with the same seed pays zero LLM calls")
+		llmPolicy  = flag.String("llm-policy", "", "oracle resilience policy, e.g. retry=4,backoff=100ms,hedge=500ms,breaker=5,rate=2,conc=8")
 		verbose    = flag.Bool("v", false, "print pipeline progress")
 		report     = flag.Bool("report", false, "print a run report (span times, counters, histograms) to stderr")
 		traceOut   = flag.String("trace", "", "write the run's span trace as JSONL to this file")
@@ -100,7 +102,9 @@ func main() {
 	var oracle llm.Oracle
 	var ledger *llm.Ledger
 	if *llmURL != "" {
-		h := llm.NewHTTPOracle(*llmURL, os.Getenv("OPENAI_API_KEY"), *llmModel)
+		h := llm.NewHTTPOracle(*llmURL,
+			llm.WithAPIKey(os.Getenv("OPENAI_API_KEY")),
+			llm.WithModel(*llmModel))
 		oracle, ledger = h, h.Ledger()
 	} else {
 		sim := llm.NewSim(llm.SimOptions{Seed: *seed})
@@ -118,6 +122,16 @@ func main() {
 		core.WithSeed(*seed),
 		core.WithParallel(*parallel),
 		core.WithCostKind(kind),
+	}
+	if *llmPolicy != "" {
+		policy, err := core.ParseResiliencePolicy(*llmPolicy)
+		if err != nil {
+			fatal("parsing -llm-policy: %v", err)
+		}
+		opts = append(opts, core.WithResilience(policy))
+	}
+	if *llmCache != "" {
+		opts = append(opts, core.WithOracleCacheDir(*llmCache))
 	}
 	var collector *obs.Collector
 	if *report || *traceOut != "" || *metricsOut != "" {

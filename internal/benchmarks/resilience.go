@@ -1,0 +1,193 @@
+package benchmarks
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sqlbarber/internal/core"
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/obs"
+	"sqlbarber/internal/stats"
+)
+
+// resilienceFaultRate is the injected fault probability the recovery gate
+// runs under (the "20% injected faults" acceptance criterion).
+const resilienceFaultRate = 0.2
+
+// resilienceCacheWinFloor is the minimum fraction of paid LLM calls a warm
+// cache rerun must eliminate for the bench to pass.
+const resilienceCacheWinFloor = 0.30
+
+// ResiliencePoint is one faulty-oracle arm of the resilience experiment.
+type ResiliencePoint struct {
+	Workers int    `json:"workers"`
+	MS      int64  `json:"ms"`
+	Retries int64  `json:"retries"`
+	Faults  int64  `json:"faults_injected"`
+	Hash    string `json:"workload_hash"`
+}
+
+// ResilienceBenchResult is the BENCH_resilience.json artifact: the recovery
+// gate (identical workload hash under injected faults at every worker count)
+// and the cache-win gate (a warm rerun pays at least 30% fewer LLM calls).
+type ResilienceBenchResult struct {
+	FaultRate    float64           `json:"fault_rate"`
+	BaselineHash string            `json:"baseline_hash"`
+	BaselineMS   int64             `json:"baseline_ms"`
+	Points       []ResiliencePoint `json:"faulty_points"`
+
+	ColdLLMCalls int64   `json:"cold_llm_calls"`
+	WarmLLMCalls int64   `json:"warm_llm_calls"`
+	ColdMS       int64   `json:"cold_ms"`
+	WarmMS       int64   `json:"warm_ms"`
+	CacheSavings float64 `json:"cache_savings"`
+}
+
+// counterValue reads a named counter out of a metric snapshot (0 if absent).
+func counterValue(snap obs.Snapshot, name string) int64 {
+	for _, c := range snap.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// RunResilienceBench measures what the oracle middleware chain guarantees
+// rather than how fast it is. Recovery: with a deterministic 20% fault
+// schedule and a retry budget above the fault window, the workload hash must
+// equal the fault-free baseline at 1, 2, and 8 workers — faults burn retries,
+// never entropy. Cache win: a warm rerun over a persistent prompt cache with
+// the same seed must pay at least 30% fewer LLM calls than the cold run (in
+// practice zero) while reproducing the identical workload. Either gate
+// failing is returned as an error so CI trips. When jsonPath is non-empty
+// the result is also written there as JSON.
+func (r *Runner) RunResilienceBench(ctx context.Context, w io.Writer, jsonPath string) (*ResilienceBenchResult, error) {
+	target := stats.Uniform(0, r.Scale.RangeHi, 5, 600/r.Scale.QueryDivisor)
+	res := &ResilienceBenchResult{FaultRate: resilienceFaultRate}
+	fmt.Fprintf(w, "=== Oracle resilience | TPC-H sf=%.1f, %.0f%% injected faults, persistent prompt cache ===\n",
+		r.Scale.SF, resilienceFaultRate*100)
+
+	// run executes one pipeline arm and returns the result, the base-oracle
+	// ledger, the metric snapshot, and the elapsed wall clock.
+	run := func(workers int, extra ...core.Option) (*core.Result, *llm.Ledger, obs.Snapshot, time.Duration, error) {
+		db := TPCH.Open(r.Seed, r.Scale.SF)
+		sim := llm.NewSim(llm.SimOptions{Seed: r.Seed})
+		collector := obs.NewCollector()
+		opts := append([]core.Option{
+			core.WithSeed(r.Seed),
+			core.WithCostKind(engine.Cardinality),
+			core.WithParallel(workers),
+			core.WithObs(collector),
+		}, extra...)
+		p, err := core.New(db, sim, r.Specs(), target, opts...)
+		if err != nil {
+			return nil, nil, obs.Snapshot{}, 0, err
+		}
+		start := time.Now()
+		cres, err := p.Run(ctx)
+		if err != nil {
+			return nil, nil, obs.Snapshot{}, 0, err
+		}
+		return cres, sim.Ledger(), collector.Snapshot(), time.Since(start), nil
+	}
+
+	// Fault-free baseline.
+	base, _, _, baseElapsed, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	res.BaselineHash = workloadHash(base.Workload)
+	res.BaselineMS = baseElapsed.Milliseconds()
+	fmt.Fprintf(w, "baseline    workers=1  elapsed=%-10s workload=%s\n",
+		baseElapsed.Round(time.Millisecond), res.BaselineHash)
+
+	// Faulty arms: recovery must hold at every worker count. The fake clock
+	// makes the retry backoff free, so the arm measures recovery, not sleep.
+	policy := core.ResiliencePolicy{
+		Retry:         llm.RetryPolicy{MaxAttempts: 4, BaseBackoff: 5 * time.Millisecond, Jitter: 0.3},
+		FaultRate:     resilienceFaultRate,
+		FaultAttempts: 2,
+		FaultSeed:     r.Seed,
+		Clock:         llm.NewFakeClock(),
+	}
+	for _, workers := range []int{1, 2, 8} {
+		fres, _, snap, elapsed, err := run(workers, core.WithResilience(policy))
+		if err != nil {
+			return nil, fmt.Errorf("benchmarks: faulty arm workers=%d failed despite retry budget: %w", workers, err)
+		}
+		pt := ResiliencePoint{
+			Workers: workers,
+			MS:      elapsed.Milliseconds(),
+			Retries: counterValue(snap, obs.MLLMRetries),
+			Faults:  counterValue(snap, obs.MLLMFaultsInjected),
+			Hash:    workloadHash(fres.Workload),
+		}
+		res.Points = append(res.Points, pt)
+		fmt.Fprintf(w, "faulty      workers=%-2d elapsed=%-10s retries=%-5d faults=%-5d workload=%s\n",
+			workers, elapsed.Round(time.Millisecond), pt.Retries, pt.Faults, pt.Hash)
+		if pt.Hash != res.BaselineHash {
+			return res, fmt.Errorf("benchmarks: recovery gate failed: workers=%d workload %s != fault-free %s",
+				workers, pt.Hash, res.BaselineHash)
+		}
+		if pt.Faults == 0 {
+			return res, fmt.Errorf("benchmarks: fault schedule never fired at workers=%d; arm is vacuous", workers)
+		}
+	}
+
+	// Cache arms: cold fill, then a warm rerun with the same seed.
+	cacheDir, err := os.MkdirTemp("", "sqlbarber-promptcache-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(cacheDir)
+	cold, coldLedger, _, coldElapsed, err := run(1, core.WithOracleCacheDir(cacheDir))
+	if err != nil {
+		return res, err
+	}
+	res.ColdLLMCalls = coldLedger.Calls()
+	res.ColdMS = coldElapsed.Milliseconds()
+	warm, warmLedger, _, warmElapsed, err := run(1, core.WithOracleCacheDir(cacheDir))
+	if err != nil {
+		return res, err
+	}
+	res.WarmLLMCalls = warmLedger.Calls()
+	res.WarmMS = warmElapsed.Milliseconds()
+	if res.ColdLLMCalls > 0 {
+		res.CacheSavings = 1 - float64(res.WarmLLMCalls)/float64(res.ColdLLMCalls)
+	}
+	fmt.Fprintf(w, "cache cold  workers=1  elapsed=%-10s llmcalls=%-6d workload=%s\n",
+		coldElapsed.Round(time.Millisecond), res.ColdLLMCalls, workloadHash(cold.Workload))
+	fmt.Fprintf(w, "cache warm  workers=1  elapsed=%-10s llmcalls=%-6d savings=%.0f%% workload=%s\n",
+		warmElapsed.Round(time.Millisecond), res.WarmLLMCalls, res.CacheSavings*100, workloadHash(warm.Workload))
+	if workloadHash(warm.Workload) != workloadHash(cold.Workload) {
+		return res, fmt.Errorf("benchmarks: warm cache rerun changed the workload: %s != %s",
+			workloadHash(warm.Workload), workloadHash(cold.Workload))
+	}
+	if res.ColdLLMCalls == 0 {
+		return res, fmt.Errorf("benchmarks: cold run paid no LLM calls; cache arm is vacuous")
+	}
+	if res.CacheSavings < resilienceCacheWinFloor {
+		return res, fmt.Errorf("benchmarks: cache-win gate failed: warm rerun saved %.0f%% of %d paid calls, need >= %.0f%%",
+			res.CacheSavings*100, res.ColdLLMCalls, resilienceCacheWinFloor*100)
+	}
+
+	fmt.Fprintf(w, "gates: recovery (hash %s at 1/2/8 workers under %.0f%% faults) and cache win (%.0f%% >= %.0f%%) hold\n",
+		res.BaselineHash, resilienceFaultRate*100, res.CacheSavings*100, resilienceCacheWinFloor*100)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return res, err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return res, err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return res, nil
+}

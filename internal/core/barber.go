@@ -34,6 +34,10 @@ type Result = pipeline.Result
 // StageTiming records how long one pipeline stage ran.
 type StageTiming = pipeline.StageTiming
 
+// ResiliencePolicy configures the oracle middleware chain (retry, hedging,
+// circuit breaking, rate limiting, deterministic fault injection).
+type ResiliencePolicy = pipeline.ResiliencePolicy
+
 // New builds a validated Pipeline; see pipeline.New for the coded errors and
 // the available options.
 var New = pipeline.New
@@ -50,7 +54,13 @@ var (
 	WithRefineOptions    = pipeline.WithRefineOptions
 	WithSearchOptions    = pipeline.WithSearchOptions
 	WithProgress         = pipeline.WithProgress
+	WithResilience       = pipeline.WithResilience
+	WithOracleCacheDir   = pipeline.WithOracleCacheDir
 )
+
+// ParseResiliencePolicy parses the -llm-policy flag's key=value form; see
+// pipeline.ParseResiliencePolicy for the grammar.
+var ParseResiliencePolicy = pipeline.ParseResiliencePolicy
 
 // Coded constructor errors (match with errors.Is).
 var (
@@ -62,6 +72,8 @@ var (
 	ErrBadProfileFraction = pipeline.ErrBadProfileFraction
 	ErrBadCostKind        = pipeline.ErrBadCostKind
 	ErrNilSink            = pipeline.ErrNilSink
+	ErrBadResilience      = pipeline.ErrBadResilience
+	ErrBadCacheDir        = pipeline.ErrBadCacheDir
 )
 
 // Generate runs the full SQLBarber pipeline: generate → profile →

@@ -1,0 +1,172 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"sqlbarber/internal/datagen"
+	"sqlbarber/internal/spec"
+	"sqlbarber/internal/stats"
+)
+
+// tagMW appends its tag on the way in, recording middleware execution order.
+type tagMW struct {
+	tag   string
+	order *[]string
+}
+
+func (m tagMW) Wrap(next Handler) Handler {
+	return func(ctx context.Context, c *Call) (Reply, error) {
+		*m.order = append(*m.order, m.tag)
+		return next(ctx, c)
+	}
+}
+
+// TestChainOrdering pins the composition contract: mw[0] is outermost.
+func TestChainOrdering(t *testing.T) {
+	var order []string
+	sim := NewSim(Perfect(3))
+	o := Chain(sim, tagMW{"a", &order}, tagMW{"b", &order}, tagMW{"c", &order})
+	db := datagen.TPCH(1, 0.01)
+	paths := db.Schema.JoinPaths(0, 4)
+	if _, err := o.GenerateTemplate(context.Background(), GenerateRequest{Schema: db.Schema, JoinPath: paths[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("middleware order = %v, want [a b c]", order)
+	}
+}
+
+// TestChainTransparent verifies an empty chain is observationally identical
+// to the bare oracle across all five methods: same outputs, same ledger.
+func TestChainTransparent(t *testing.T) {
+	ctx := context.Background()
+	db := datagen.TPCH(2, 0.02)
+	paths := db.Schema.JoinPaths(1, 4)
+	s := spec.Spec{NumJoins: spec.Int(1), NumPredicates: spec.Int(2)}
+	gen := GenerateRequest{Schema: db.Schema, JoinPath: paths[0], Spec: s}
+
+	type outputs struct {
+		genSQL, fixSem, fixExec, refined string
+		ok                               bool
+		viol                             []string
+		calls                            int64
+	}
+	drive := func(o Oracle, led *Ledger) outputs {
+		var out outputs
+		var err error
+		if out.genSQL, err = o.GenerateTemplate(ctx, gen); err != nil {
+			t.Fatal(err)
+		}
+		if out.ok, out.viol, err = o.ValidateSemantics(ctx, out.genSQL, s); err != nil {
+			t.Fatal(err)
+		}
+		if out.fixSem, err = o.FixSemantics(ctx, out.genSQL, s, []string{"needs more joins"}, gen); err != nil {
+			t.Fatal(err)
+		}
+		if out.fixExec, err = o.FixExecution(ctx, out.genSQL, "syntax error near FROM", gen); err != nil {
+			t.Fatal(err)
+		}
+		if out.refined, err = o.RefineTemplate(ctx, RefineRequest{
+			Schema: db.Schema, TemplateSQL: out.genSQL, Spec: s,
+			Costs: []float64{50}, Target: stats.Interval{Lo: 10, Hi: 100},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		out.calls = led.Calls()
+		return out
+	}
+
+	bare := NewSim(SimOptions{Seed: 11})
+	chained := Chain(NewSim(SimOptions{Seed: 11}))
+	a := drive(bare, bare.Ledger())
+	b := drive(chained, chained.Ledger())
+	if a.genSQL != b.genSQL || a.fixSem != b.fixSem || a.fixExec != b.fixExec || a.refined != b.refined {
+		t.Fatalf("chained outputs diverge from bare oracle:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.ok != b.ok || len(a.viol) != len(b.viol) {
+		t.Fatalf("verdicts diverge: %v/%v vs %v/%v", a.ok, a.viol, b.ok, b.viol)
+	}
+	if a.calls != b.calls {
+		t.Fatalf("ledger diverges: %d vs %d calls", a.calls, b.calls)
+	}
+}
+
+// TestChainForkSharesMiddleware verifies Fork re-wraps the SAME middleware
+// instances around a forked base: middleware state accumulates across forks
+// while forked bases draw stream-private randomness.
+func TestChainForkSharesMiddleware(t *testing.T) {
+	var order []string
+	o := Chain(NewSim(SimOptions{Seed: 7}), tagMW{"shared", &order})
+	db := datagen.TPCH(1, 0.01)
+	paths := db.Schema.JoinPaths(1, 4)
+	req := GenerateRequest{Schema: db.Schema, JoinPath: paths[0]}
+
+	sqlFromChain := map[int64]string{}
+	for _, stream := range []int64{0, 1, 2} {
+		child := o.Fork(stream)
+		sql, err := child.GenerateTemplate(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sqlFromChain[stream] = sql
+	}
+	if len(order) != 3 {
+		t.Fatalf("middleware ran %d times across forks, want 3", len(order))
+	}
+	// Forked chains must produce exactly what forking the bare oracle does.
+	bare := NewSim(SimOptions{Seed: 7})
+	for _, stream := range []int64{0, 1, 2} {
+		sql, err := bare.Fork(stream).GenerateTemplate(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sql != sqlFromChain[stream] {
+			t.Fatalf("stream %d: chained fork diverges from bare fork:\n%q\nvs\n%q", stream, sqlFromChain[stream], sql)
+		}
+	}
+	// Metering flows to the shared base ledger.
+	if o.Ledger().Calls() != 3 {
+		t.Fatalf("chained ledger saw %d calls, want 3", o.Ledger().Calls())
+	}
+}
+
+// TestCallFingerprint verifies fingerprints separate call kinds and contents
+// but are stable for identical calls — the identity the cache and fault
+// schedules key on.
+func TestCallFingerprint(t *testing.T) {
+	db := datagen.TPCH(1, 0.01)
+	paths := db.Schema.JoinPaths(0, 4)
+	gen := GenerateRequest{Schema: db.Schema, JoinPath: paths[0]}
+	a := &Call{Kind: CallGenerate, Gen: gen}
+	b := &Call{Kind: CallGenerate, Gen: gen}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical calls must share a fingerprint")
+	}
+	c := &Call{Kind: CallValidate, TemplateSQL: "SELECT 1 FROM t"}
+	d := &Call{Kind: CallFixExecution, TemplateSQL: "SELECT 1 FROM t", DBMSError: "boom"}
+	if a.Fingerprint() == c.Fingerprint() || c.Fingerprint() == d.Fingerprint() {
+		t.Fatal("distinct kinds/contents must not collide")
+	}
+}
+
+// failMW turns every call into an error.
+type failMW struct{ err error }
+
+func (m failMW) Wrap(next Handler) Handler {
+	return func(ctx context.Context, c *Call) (Reply, error) { return Reply{}, m.err }
+}
+
+// TestChainErrorsSurface verifies middleware errors reach the Oracle caller
+// unwrapped enough for errors.Is.
+func TestChainErrorsSurface(t *testing.T) {
+	sentinel := errors.New("middleware says no")
+	o := Chain(NewSim(Perfect(1)), failMW{sentinel})
+	db := datagen.TPCH(1, 0.01)
+	paths := db.Schema.JoinPaths(0, 4)
+	_, err := o.GenerateTemplate(context.Background(), GenerateRequest{Schema: db.Schema, JoinPath: paths[0]})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error lost through chain: %v", err)
+	}
+}

@@ -4,38 +4,124 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"sqlbarber/internal/obs"
+	"sqlbarber/internal/prand"
 	"sqlbarber/internal/spec"
 )
+
+// RetryPolicy configures transient-failure retries. It is shared by
+// HTTPOracle's built-in retry loop and the resilience.Retry middleware.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first call.
+	// Zero or negative means "unset" (callers apply their own default).
+	MaxAttempts int
+	// BaseBackoff is the sleep before the second attempt, doubling on each
+	// further retry. Zero disables backoff sleeps.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubled backoff (and any server-requested
+	// Retry-After wait). Zero means uncapped.
+	MaxBackoff time.Duration
+	// Jitter, in [0,1], adds a deterministic fraction of the computed
+	// backoff drawn from a prand stream keyed by the call content and the
+	// attempt index — spreading a thundering herd without losing
+	// reproducibility.
+	Jitter float64
+}
+
+// RateLimitError reports a throttling or server-unavailable response
+// (HTTP 429/503 and friends). When the endpoint supplied a Retry-After
+// header its parsed value is carried here so retry layers can honour the
+// server's own pacing instead of blind exponential doubling.
+type RateLimitError struct {
+	// Status is the HTTP status code (429, 503, ...).
+	Status int
+	// RetryAfter is the server-requested wait, zero when absent.
+	RetryAfter time.Duration
+	// Body is a truncated response body for diagnostics.
+	Body string
+}
+
+// Error implements error.
+func (e *RateLimitError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("status %d (retry after %s): %s", e.Status, e.RetryAfter, e.Body)
+	}
+	return fmt.Sprintf("status %d: %s", e.Status, e.Body)
+}
+
+// Retryable marks rate-limit responses as transient.
+func (e *RateLimitError) Retryable() bool { return true }
+
+// parseRetryAfter parses a Retry-After header value: either delta-seconds or
+// an HTTP-date. Absent, malformed or already-elapsed values yield zero.
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
 
 // HTTPOracle implements Oracle against any OpenAI-compatible chat
 // completions endpoint (the paper uses o3-mini through this exact protocol).
 // It is the production counterpart of SimLLM: same prompts, same ledger,
 // real model. The offline test suite exercises it against a local stub
-// server; pointing BaseURL at https://api.openai.com/v1 with a key makes
-// the whole pipeline run on a hosted model.
+// server; pointing the base URL at https://api.openai.com/v1 with a key
+// makes the whole pipeline run on a hosted model.
+//
+// Construct it with NewHTTPOracle(baseURL, ...HTTPOption). The exported
+// fields remain assignable for compatibility with pre-option callers but are
+// deprecated as a construction surface.
 type HTTPOracle struct {
 	// BaseURL is the API root, e.g. "https://api.openai.com/v1".
 	BaseURL string
 	// APIKey is sent as a bearer token when non-empty.
+	//
+	// Deprecated: prefer WithAPIKey.
 	APIKey string
 	// Model names the chat model (default "o3-mini").
+	//
+	// Deprecated: prefer WithModel.
 	Model string
 	// Client is the HTTP client (default: 60s timeout).
+	//
+	// Deprecated: prefer WithClient.
 	Client *http.Client
 	// MaxRetries bounds retry attempts on transient failures (default 2).
+	//
+	// Deprecated: prefer WithRetryPolicy; ignored when Retry.MaxAttempts
+	// is set.
 	MaxRetries int
 	// Backoff is the initial sleep before the first retry, doubling per
 	// attempt. Zero disables backoff. The sleep is context-aware:
 	// cancellation interrupts it immediately.
+	//
+	// Deprecated: prefer WithRetryPolicy; ignored when Retry.MaxAttempts
+	// is set.
 	Backoff time.Duration
+	// Retry, when MaxAttempts > 0, supersedes MaxRetries/Backoff.
+	Retry RetryPolicy
 
+	clock  Clock
 	ledger Ledger
 }
 
@@ -49,18 +135,60 @@ var (
 // parallel tasks directly.
 func (o *HTTPOracle) Fork(stream int64) Oracle { return o }
 
-// NewHTTPOracle creates a client for an OpenAI-compatible endpoint.
-func NewHTTPOracle(baseURL, apiKey, model string) *HTTPOracle {
-	if model == "" {
-		model = "o3-mini"
+// HTTPOption configures an HTTPOracle at construction.
+type HTTPOption func(*HTTPOracle)
+
+// WithModel selects the chat model (default "o3-mini").
+func WithModel(model string) HTTPOption {
+	return func(o *HTTPOracle) {
+		if model != "" {
+			o.Model = model
+		}
 	}
-	return &HTTPOracle{
+}
+
+// WithAPIKey sets the bearer token sent with each request.
+func WithAPIKey(key string) HTTPOption {
+	return func(o *HTTPOracle) { o.APIKey = key }
+}
+
+// WithClient substitutes the HTTP client (timeouts, transports, proxies).
+func WithClient(c *http.Client) HTTPOption {
+	return func(o *HTTPOracle) {
+		if c != nil {
+			o.Client = c
+		}
+	}
+}
+
+// WithRetryPolicy replaces the default retry behaviour (3 attempts, no
+// backoff sleep) with an explicit policy.
+func WithRetryPolicy(p RetryPolicy) HTTPOption {
+	return func(o *HTTPOracle) { o.Retry = p }
+}
+
+// WithHTTPClock substitutes the clock used for backoff sleeps; tests use a
+// FakeClock so retry schedules are instant and assertable.
+func WithHTTPClock(c Clock) HTTPOption {
+	return func(o *HTTPOracle) {
+		if c != nil {
+			o.clock = c
+		}
+	}
+}
+
+// NewHTTPOracle creates a client for an OpenAI-compatible endpoint.
+func NewHTTPOracle(baseURL string, opts ...HTTPOption) *HTTPOracle {
+	o := &HTTPOracle{
 		BaseURL:    strings.TrimRight(baseURL, "/"),
-		APIKey:     apiKey,
-		Model:      model,
+		Model:      "o3-mini",
 		Client:     &http.Client{Timeout: 60 * time.Second},
 		MaxRetries: 2,
 	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
 }
 
 // Ledger exposes the token/cost meter (counts are taken from API usage
@@ -91,9 +219,50 @@ type chatResponse struct {
 	} `json:"error"`
 }
 
+// effectivePolicy resolves the retry configuration: an explicit Retry policy
+// wins; otherwise the deprecated MaxRetries/Backoff fields are translated so
+// pre-option callers keep their exact behaviour.
+func (o *HTTPOracle) effectivePolicy() RetryPolicy {
+	if o.Retry.MaxAttempts > 0 {
+		return o.Retry
+	}
+	retries := o.MaxRetries
+	if retries < 0 {
+		retries = 0
+	}
+	return RetryPolicy{MaxAttempts: retries + 1, BaseBackoff: o.Backoff}
+}
+
+func (o *HTTPOracle) clockOrSystem() Clock {
+	if o.clock != nil {
+		return o.clock
+	}
+	return SystemClock
+}
+
+// retryDelay computes the wait before retry attempt number attempt (≥1): the
+// server's Retry-After when the previous failure carried one, otherwise the
+// current exponential backoff, capped and deterministically jittered.
+func retryDelay(p RetryPolicy, backoff time.Duration, lastErr error, fingerprint string, attempt int) time.Duration {
+	d := backoff
+	var rl *RateLimitError
+	if errors.As(lastErr, &rl) && rl.RetryAfter > 0 {
+		d = rl.RetryAfter
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.Jitter > 0 && d > 0 {
+		rng := prand.New(prand.StageOracle, prand.HashString(fingerprint), int64(attempt))
+		d += time.Duration(p.Jitter * float64(d) * rng.Float64())
+	}
+	return d
+}
+
 // complete sends one chat turn and returns the assistant text. Transient
-// failures are retried with exponential backoff; the caller's context
-// cancels both in-flight requests and backoff sleeps.
+// failures are retried with exponential backoff — or the server's explicit
+// Retry-After pacing on 429/503 — and the caller's context cancels both
+// in-flight requests and backoff sleeps.
 func (o *HTTPOracle) complete(ctx context.Context, prompt string) (string, error) {
 	body, err := json.Marshal(chatRequest{
 		Model:    o.Model,
@@ -102,20 +271,16 @@ func (o *HTTPOracle) complete(ctx context.Context, prompt string) (string, error
 	if err != nil {
 		return "", err
 	}
+	p := o.effectivePolicy()
+	clock := o.clockOrSystem()
+	backoff := p.BaseBackoff
 	var lastErr error
-	retries := o.MaxRetries
-	if retries < 0 {
-		retries = 0
-	}
-	backoff := o.Backoff
-	for attempt := 0; attempt <= retries; attempt++ {
-		if attempt > 0 && backoff > 0 {
-			t := time.NewTimer(backoff)
-			select {
-			case <-ctx.Done():
-				t.Stop()
-				return "", fmt.Errorf("llm: chat completion cancelled during backoff: %w", ctx.Err())
-			case <-t.C:
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if d := retryDelay(p, backoff, lastErr, prompt, attempt); d > 0 {
+				if err := clock.Sleep(ctx, d); err != nil {
+					return "", fmt.Errorf("llm: chat completion cancelled during backoff: %w", err)
+				}
 			}
 			backoff *= 2
 		}
@@ -158,7 +323,11 @@ func (o *HTTPOracle) completeOnce(ctx context.Context, body []byte, prompt strin
 		return "", true, err
 	}
 	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
-		return "", true, fmt.Errorf("status %d: %s", resp.StatusCode, truncate(string(data), 200))
+		return "", true, &RateLimitError{
+			Status:     resp.StatusCode,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), o.clockOrSystem().Now()),
+			Body:       truncate(string(data), 200),
+		}
 	}
 	if resp.StatusCode != http.StatusOK {
 		return "", false, fmt.Errorf("status %d: %s", resp.StatusCode, truncate(string(data), 200))

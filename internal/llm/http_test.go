@@ -50,7 +50,7 @@ func TestHTTPOracleGenerateTemplate(t *testing.T) {
 		return "Sure! Here is the template:\n```sql\nSELECT o_orderkey FROM orders WHERE o_totalprice > {p_1}\n```\nHope this helps."
 	})
 	defer srv.Close()
-	o := NewHTTPOracle(srv.URL, "test-key", "o3-mini")
+	o := NewHTTPOracle(srv.URL, WithAPIKey("test-key"), WithModel("o3-mini"))
 	db := datagen.TPCH(1, 0.05)
 	paths := db.Schema.JoinPaths(0, 4)
 	sql, err := o.GenerateTemplate(context.Background(), GenerateRequest{Schema: db.Schema, JoinPath: paths[0], Spec: spec.Spec{}})
@@ -70,7 +70,7 @@ func TestHTTPOracleValidateSemantics(t *testing.T) {
 		return `The template has too many joins. {"satisfied": false, "violations": ["expected 0 joins"]}`
 	})
 	defer srv.Close()
-	o := NewHTTPOracle(srv.URL, "test-key", "")
+	o := NewHTTPOracle(srv.URL, WithAPIKey("test-key"))
 	ok, viol, err := o.ValidateSemantics(context.Background(), "SELECT 1 FROM t", spec.Spec{NumJoins: spec.Int(0)})
 	if err != nil {
 		t.Fatal(err)
@@ -83,7 +83,7 @@ func TestHTTPOracleValidateSemantics(t *testing.T) {
 func TestHTTPOracleUnstructuredJudgment(t *testing.T) {
 	srv := stubServer(t, func(string) string { return "I think it is probably fine?" })
 	defer srv.Close()
-	o := NewHTTPOracle(srv.URL, "test-key", "")
+	o := NewHTTPOracle(srv.URL, WithAPIKey("test-key"))
 	ok, viol, err := o.ValidateSemantics(context.Background(), "SELECT 1 FROM t", spec.Spec{})
 	if err != nil {
 		t.Fatal(err)
@@ -105,7 +105,7 @@ func TestHTTPOracleRetriesTransientErrors(t *testing.T) {
 		})
 	}))
 	defer srv.Close()
-	o := NewHTTPOracle(srv.URL, "", "")
+	o := NewHTTPOracle(srv.URL)
 	req := RefineRequest{Schema: datagen.TPCH(1, 0.01).Schema, TemplateSQL: "SELECT 1 FROM t",
 		Target: stats.Interval{Lo: 0, Hi: 10}}
 	sql, err := o.RefineTemplate(context.Background(), req)
@@ -124,7 +124,7 @@ func TestHTTPOracleFatalErrorsDoNotRetry(t *testing.T) {
 		http.Error(w, `{"error":{"message":"invalid model"}}`, http.StatusBadRequest)
 	}))
 	defer srv.Close()
-	o := NewHTTPOracle(srv.URL, "", "")
+	o := NewHTTPOracle(srv.URL)
 	db := datagen.TPCH(1, 0.01)
 	_, err := o.FixExecution(context.Background(), "SELECT 1", "syntax error", GenerateRequest{Schema: db.Schema})
 	if err == nil {
@@ -169,7 +169,7 @@ func TestHTTPOracleDrivesGeneratorEndToEnd(t *testing.T) {
 		return "```sql\n" + sql + "\n```"
 	})
 	defer srv.Close()
-	o := NewHTTPOracle(srv.URL, "test-key", "")
+	o := NewHTTPOracle(srv.URL, WithAPIKey("test-key"))
 	sql, err := o.GenerateTemplate(context.Background(), GenerateRequest{Schema: db.Schema, JoinPath: paths[0], Spec: s})
 	if err != nil {
 		t.Fatal(err)
@@ -191,7 +191,7 @@ func TestHTTPOracleCancelDuringBackoff(t *testing.T) {
 		http.Error(w, "overloaded", http.StatusServiceUnavailable)
 	}))
 	defer srv.Close()
-	o := NewHTTPOracle(srv.URL, "", "")
+	o := NewHTTPOracle(srv.URL)
 	o.MaxRetries = 5
 	o.Backoff = time.Hour
 	ctx, cancel := context.WithCancel(context.Background())
@@ -225,7 +225,7 @@ func TestHTTPOracleCancelledContextNoRequest(t *testing.T) {
 		hits.Add(1)
 	}))
 	defer srv.Close()
-	o := NewHTTPOracle(srv.URL, "", "")
+	o := NewHTTPOracle(srv.URL)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if _, err := o.GenerateTemplate(ctx, GenerateRequest{Schema: datagen.TPCH(1, 0.01).Schema}); err == nil {
@@ -276,5 +276,125 @@ func TestSimLLMForkDeterministic(t *testing.T) {
 	}
 	if parent.Ledger().Calls() != 1 {
 		t.Fatalf("fork must share ledger, parent saw %d calls", parent.Ledger().Calls())
+	}
+}
+
+// TestHTTPOracleHonorsRetryAfter is the regression test for the Retry-After
+// fix: a 429 carrying "Retry-After: 7" must make the oracle wait exactly the
+// server-requested 7 seconds instead of its own 1-second exponential step.
+func TestHTTPOracleHonorsRetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "7")
+			http.Error(w, "rate limited", http.StatusTooManyRequests)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"choices": []map[string]any{{"message": map[string]any{"role": "assistant", "content": "SELECT 1 FROM t"}}},
+		})
+	}))
+	defer srv.Close()
+	clock := NewFakeClock()
+	o := NewHTTPOracle(srv.URL,
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Second}),
+		WithHTTPClock(clock))
+	sql, err := o.FixExecution(context.Background(), "SELECT 1", "syntax error",
+		GenerateRequest{Schema: datagen.TPCH(1, 0.01).Schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sql != "SELECT 1 FROM t" || hits.Load() != 2 {
+		t.Fatalf("sql=%q hits=%d", sql, hits.Load())
+	}
+	sleeps := clock.Sleeps()
+	if len(sleeps) != 1 || sleeps[0] != 7*time.Second {
+		t.Fatalf("backoff ignored Retry-After, slept %v (want [7s])", sleeps)
+	}
+}
+
+// TestHTTPOracleRetryAfterCappedByMaxBackoff verifies MaxBackoff bounds even
+// server-requested waits, so a hostile/misconfigured endpoint cannot park the
+// pipeline for an hour.
+func TestHTTPOracleRetryAfterCappedByMaxBackoff(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3600")
+			http.Error(w, "rate limited", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"choices": []map[string]any{{"message": map[string]any{"role": "assistant", "content": "SELECT 1 FROM t"}}},
+		})
+	}))
+	defer srv.Close()
+	clock := NewFakeClock()
+	o := NewHTTPOracle(srv.URL,
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Second, MaxBackoff: 30 * time.Second}),
+		WithHTTPClock(clock))
+	if _, err := o.RefineTemplate(context.Background(), RefineRequest{
+		Schema: datagen.TPCH(1, 0.01).Schema, TemplateSQL: "SELECT 1 FROM t",
+		Target: stats.Interval{Lo: 0, Hi: 10},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sleeps := clock.Sleeps()
+	if len(sleeps) != 1 || sleeps[0] != 30*time.Second {
+		t.Fatalf("Retry-After not capped by MaxBackoff: slept %v (want [30s])", sleeps)
+	}
+}
+
+// TestParseRetryAfter covers the header's two RFC forms plus junk.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2025, 6, 1, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"5", 5 * time.Second},
+		{" 12 ", 12 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"garbage", 0},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in, now); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestHTTPOracleDeprecatedFieldsStillWork pins the compatibility contract:
+// pre-option callers that poke MaxRetries/Backoff directly keep their exact
+// retry behaviour (3 total attempts here), and an explicit RetryPolicy
+// supersedes those fields when set.
+func TestHTTPOracleDeprecatedFieldsStillWork(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	o := NewHTTPOracle(srv.URL, WithHTTPClock(NewFakeClock()))
+	o.MaxRetries = 2
+	o.Backoff = time.Millisecond
+	req := GenerateRequest{Schema: datagen.TPCH(1, 0.01).Schema}
+	if _, err := o.GenerateTemplate(context.Background(), req); err == nil {
+		t.Fatal("exhausted retries must error")
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("deprecated MaxRetries=2 made %d attempts, want 3", hits.Load())
+	}
+	hits.Store(0)
+	o.Retry = RetryPolicy{MaxAttempts: 1}
+	if _, err := o.GenerateTemplate(context.Background(), req); err == nil {
+		t.Fatal("exhausted retries must error")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("explicit policy did not supersede deprecated fields: %d attempts, want 1", hits.Load())
 	}
 }

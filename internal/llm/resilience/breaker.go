@@ -1,0 +1,141 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/obs"
+)
+
+// ErrBreakerOpen is returned (wrapped) when the circuit breaker is open and
+// a call is rejected without reaching the endpoint. It is errors.Is-matchable
+// and counts as retryable: an outer Retry's backoff naturally rides out the
+// cooldown.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Breaker is a consecutive-failure circuit breaker: after threshold
+// consecutive call failures it opens and rejects calls outright for the
+// cooldown period, then admits a single half-open probe — success closes the
+// circuit, failure re-opens it for another cooldown. Context-cancellation
+// failures do not count against the endpoint: the caller leaving says
+// nothing about endpoint health.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	clock     llm.Clock
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int
+	until       time.Time
+	probing     bool
+
+	opens    obs.Counter
+	rejected obs.Counter
+}
+
+// NewBreaker builds a Breaker opening after threshold consecutive failures
+// (min 1) and cooling down for cooldown (default 30s) before probing. A nil
+// clock defaults to llm.SystemClock.
+func NewBreaker(threshold int, cooldown time.Duration, clock llm.Clock) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	if clock == nil {
+		clock = llm.SystemClock
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, clock: clock}
+}
+
+// Opens returns how many times the circuit transitioned to open.
+func (bk *Breaker) Opens() int64 { return bk.opens.Load() }
+
+// Rejected returns how many calls were short-circuited while open.
+func (bk *Breaker) Rejected() int64 { return bk.rejected.Load() }
+
+// BindObs adopts the breaker counters by reference (volatile: open/close
+// transitions depend on wall-clock pacing and scheduling).
+func (bk *Breaker) BindObs(b obs.Binder) {
+	b.BindCounter(obs.MLLMBreakerOpens, &bk.opens, true)
+	b.BindCounter(obs.MLLMBreakerRejected, &bk.rejected, true)
+}
+
+// allow decides whether a call may proceed, transitioning open→half-open
+// when the cooldown has elapsed. In half-open state exactly one in-flight
+// probe is admitted at a time.
+func (bk *Breaker) allow() bool {
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	switch bk.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if bk.clock.Now().Before(bk.until) {
+			return false
+		}
+		bk.state = breakerHalfOpen
+		bk.probing = true
+		return true
+	default: // half-open
+		if bk.probing {
+			return false
+		}
+		bk.probing = true
+		return true
+	}
+}
+
+// record folds a call outcome into the breaker state.
+func (bk *Breaker) record(err error, ctxErr error) {
+	if err != nil && ctxErr != nil {
+		// Cancellation, not endpoint health: release a half-open probe slot
+		// without judging the endpoint.
+		bk.mu.Lock()
+		bk.probing = false
+		bk.mu.Unlock()
+		return
+	}
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	bk.probing = false
+	if err == nil {
+		bk.state = breakerClosed
+		bk.consecutive = 0
+		return
+	}
+	bk.consecutive++
+	if bk.state == breakerHalfOpen || bk.consecutive >= bk.threshold {
+		bk.state = breakerOpen
+		bk.until = bk.clock.Now().Add(bk.cooldown)
+		bk.consecutive = 0
+		bk.opens.Add(1)
+	}
+}
+
+// Wrap implements llm.Middleware.
+func (bk *Breaker) Wrap(next llm.Handler) llm.Handler {
+	return func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		if !bk.allow() {
+			bk.rejected.Add(1)
+			return llm.Reply{}, fmt.Errorf("rejecting %s call: %w", c.Kind, ErrBreakerOpen)
+		}
+		rep, err := next(ctx, c)
+		bk.record(err, ctx.Err())
+		return rep, err
+	}
+}

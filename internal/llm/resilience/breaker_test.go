@@ -1,0 +1,98 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sqlbarber/internal/llm"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clock := llm.NewFakeClock()
+	bk := NewBreaker(3, time.Minute, clock)
+	calls := 0
+	h := bk.Wrap(func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		calls++
+		return llm.Reply{}, errors.New("endpoint down")
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := h(context.Background(), call()); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	if bk.Opens() != 1 {
+		t.Fatalf("opens=%d, want 1", bk.Opens())
+	}
+	// While open: rejected without reaching the endpoint, errors.Is-matchable.
+	_, err := h(context.Background(), call())
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("want ErrBreakerOpen, got %v", err)
+	}
+	if calls != 3 || bk.Rejected() != 1 {
+		t.Fatalf("calls=%d rejected=%d", calls, bk.Rejected())
+	}
+}
+
+func TestBreakerHalfOpenProbeClosesOnSuccess(t *testing.T) {
+	clock := llm.NewFakeClock()
+	bk := NewBreaker(1, time.Minute, clock)
+	fail := true
+	h := bk.Wrap(func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		if fail {
+			return llm.Reply{}, errors.New("down")
+		}
+		return llm.Reply{Text: "ok"}, nil
+	})
+	h(context.Background(), call()) // opens
+	if _, err := h(context.Background(), call()); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("want short-circuit, got %v", err)
+	}
+	// Ride out the cooldown; the next call is the half-open probe.
+	clock.Sleep(context.Background(), 2*time.Minute)
+	fail = false
+	if rep, err := h(context.Background(), call()); err != nil || rep.Text != "ok" {
+		t.Fatalf("half-open probe: %+v %v", rep, err)
+	}
+	// Circuit closed again: calls flow.
+	if _, err := h(context.Background(), call()); err != nil {
+		t.Fatalf("closed circuit rejected a call: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenProbeReopensOnFailure(t *testing.T) {
+	clock := llm.NewFakeClock()
+	bk := NewBreaker(1, time.Minute, clock)
+	h := bk.Wrap(func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		return llm.Reply{}, errors.New("still down")
+	})
+	h(context.Background(), call()) // opens (1)
+	clock.Sleep(context.Background(), 2*time.Minute)
+	h(context.Background(), call()) // half-open probe fails → reopens (2)
+	if bk.Opens() != 2 {
+		t.Fatalf("opens=%d, want 2", bk.Opens())
+	}
+	if _, err := h(context.Background(), call()); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("circuit should be open again, got %v", err)
+	}
+}
+
+func TestBreakerIgnoresCancellationFailures(t *testing.T) {
+	bk := NewBreaker(1, time.Minute, llm.NewFakeClock())
+	h := bk.Wrap(func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		return llm.Reply{}, ctx.Err()
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h(ctx, call())
+	// A cancelled caller must not have opened the circuit.
+	ok := false
+	h2 := bk.Wrap(func(context.Context, *llm.Call) (llm.Reply, error) {
+		ok = true
+		return llm.Reply{}, nil
+	})
+	if _, err := h2(context.Background(), call()); err != nil || !ok {
+		t.Fatalf("cancellation counted as endpoint failure: %v", err)
+	}
+}

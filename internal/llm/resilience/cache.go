@@ -1,0 +1,77 @@
+package resilience
+
+import (
+	"context"
+	"encoding/json"
+
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/obs"
+	"sqlbarber/internal/storage"
+)
+
+// Cache serves replies from a persistent, content-addressed prompt cache
+// (storage.PromptCache) before any downstream layer runs: identical prompts
+// across repair loops, reruns, and parallel tasks cost exactly one paid LLM
+// call. The base oracle's ledger only meters calls that actually reach it,
+// so hits are counted separately here — paid-call totals stay honest.
+//
+// The cache is strictly an optimization: unreadable or corrupt entries read
+// as misses, and a failed write bumps a counter and passes the reply through
+// rather than erroring the call.
+type Cache struct {
+	store *storage.PromptCache
+
+	hits       obs.Counter
+	misses     obs.Counter
+	writeFails obs.Counter
+}
+
+// NewCache builds a Cache middleware over an opened store.
+func NewCache(store *storage.PromptCache) *Cache {
+	return &Cache{store: store}
+}
+
+// Hits returns how many calls were answered from the cache.
+func (ca *Cache) Hits() int64 { return ca.hits.Load() }
+
+// Misses returns how many calls fell through to the next layer.
+func (ca *Cache) Misses() int64 { return ca.misses.Load() }
+
+// WriteFails returns how many successful replies could not be persisted.
+func (ca *Cache) WriteFails() int64 { return ca.writeFails.Load() }
+
+// BindObs adopts the cache counters by reference (volatile: hit/miss splits
+// depend on what previous runs left in the persistent store).
+func (ca *Cache) BindObs(b obs.Binder) {
+	b.BindCounter(obs.MLLMCacheHits, &ca.hits, true)
+	b.BindCounter(obs.MLLMCacheMisses, &ca.misses, true)
+	b.BindCounter(obs.MLLMCacheWriteFails, &ca.writeFails, true)
+}
+
+// Wrap implements llm.Middleware.
+func (ca *Cache) Wrap(next llm.Handler) llm.Handler {
+	return func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		key := storage.CacheKey(c.Fingerprint())
+		if data, ok := ca.store.Get(key); ok {
+			var rep llm.Reply
+			if err := json.Unmarshal(data, &rep); err == nil {
+				ca.hits.Add(1)
+				return rep, nil
+			}
+			// Corrupt entry: treat as a miss and overwrite below.
+		}
+		ca.misses.Add(1)
+		rep, err := next(ctx, c)
+		if err != nil {
+			return rep, err
+		}
+		if data, merr := json.Marshal(rep); merr == nil {
+			if werr := ca.store.Put(key, data); werr != nil {
+				ca.writeFails.Add(1)
+			}
+		} else {
+			ca.writeFails.Add(1)
+		}
+		return rep, nil
+	}
+}

@@ -1,0 +1,139 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/storage"
+)
+
+func openCache(t *testing.T) (*Cache, string) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "prompts")
+	store, err := storage.OpenPromptCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCache(store), dir
+}
+
+func TestCacheHitSkipsDownstream(t *testing.T) {
+	ca, _ := openCache(t)
+	calls := 0
+	h := ca.Wrap(func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		calls++
+		return llm.Reply{Text: "expensive answer"}, nil
+	})
+	for i := 0; i < 3; i++ {
+		rep, err := h(context.Background(), call())
+		if err != nil || rep.Text != "expensive answer" {
+			t.Fatalf("i=%d rep=%+v err=%v", i, rep, err)
+		}
+	}
+	if calls != 1 || ca.Hits() != 2 || ca.Misses() != 1 {
+		t.Fatalf("calls=%d hits=%d misses=%d, want 1/2/1", calls, ca.Hits(), ca.Misses())
+	}
+}
+
+func TestCachePersistsAcrossInstances(t *testing.T) {
+	ca, dir := openCache(t)
+	h := ca.Wrap(func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		return llm.Reply{Satisfied: true, Violations: []string{"v"}}, nil
+	})
+	if _, err := h(context.Background(), &llm.Call{Kind: llm.CallValidate, TemplateSQL: "SELECT 1 FROM t"}); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh Cache over the same directory serves the entry without any
+	// downstream call — the warm-rerun scenario.
+	store, err := storage.OpenPromptCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca2 := NewCache(store)
+	h2 := ca2.Wrap(func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		t.Fatal("warm cache must not call downstream")
+		return llm.Reply{}, nil
+	})
+	rep, err := h2(context.Background(), &llm.Call{Kind: llm.CallValidate, TemplateSQL: "SELECT 1 FROM t"})
+	if err != nil || !rep.Satisfied || len(rep.Violations) != 1 {
+		t.Fatalf("warm reply %+v err=%v", rep, err)
+	}
+	if ca2.Hits() != 1 {
+		t.Fatalf("hits=%d, want 1", ca2.Hits())
+	}
+}
+
+// TestCacheErrorsAreNotCached verifies failed calls never poison the cache.
+func TestCacheErrorsAreNotCached(t *testing.T) {
+	ca, _ := openCache(t)
+	fail := true
+	h := ca.Wrap(func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		if fail {
+			return llm.Reply{}, errors.New("boom")
+		}
+		return llm.Reply{Text: "ok"}, nil
+	})
+	if _, err := h(context.Background(), call()); err == nil {
+		t.Fatal("expected error")
+	}
+	fail = false
+	rep, err := h(context.Background(), call())
+	if err != nil || rep.Text != "ok" {
+		t.Fatalf("recovery call: %+v %v", rep, err)
+	}
+	if ca.Hits() != 0 || ca.Misses() != 2 {
+		t.Fatalf("hits=%d misses=%d, want 0/2", ca.Hits(), ca.Misses())
+	}
+}
+
+// TestCacheWriteFailureDegradesToPassThrough is the satellite regression
+// test: when the store cannot persist a reply (directory vanished from under
+// it), the call still succeeds and only a counter moves.
+func TestCacheWriteFailureDegradesToPassThrough(t *testing.T) {
+	ca, dir := openCache(t)
+	// Remove the directory out from under the cache so every Put fails.
+	// (chmod tricks don't work when tests run as root; ENOENT always does.)
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	h := ca.Wrap(func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		return llm.Reply{Text: "still fine"}, nil
+	})
+	rep, err := h(context.Background(), call())
+	if err != nil || rep.Text != "still fine" {
+		t.Fatalf("write failure surfaced to the caller: %+v %v", rep, err)
+	}
+	if ca.WriteFails() != 1 {
+		t.Fatalf("writeFails=%d, want 1", ca.WriteFails())
+	}
+}
+
+// TestCacheCorruptEntryReadsAsMiss verifies a truncated/garbage entry falls
+// through to the next layer and is overwritten by the fresh reply.
+func TestCacheCorruptEntryReadsAsMiss(t *testing.T) {
+	ca, dir := openCache(t)
+	c := call()
+	key := storage.CacheKey(c.Fingerprint())
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h := ca.Wrap(func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		return llm.Reply{Text: "fresh"}, nil
+	})
+	rep, err := h(context.Background(), c)
+	if err != nil || rep.Text != "fresh" {
+		t.Fatalf("corrupt entry: %+v %v", rep, err)
+	}
+	// The healthy reply replaced the corrupt bytes.
+	rep2, err := h(context.Background(), call())
+	if err != nil || rep2.Text != "fresh" {
+		t.Fatalf("repaired entry: %+v %v", rep2, err)
+	}
+	if ca.Hits() != 1 {
+		t.Fatalf("hits=%d, want 1 (after repair)", ca.Hits())
+	}
+}

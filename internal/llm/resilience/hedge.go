@@ -1,0 +1,165 @@
+package resilience
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/obs"
+)
+
+// hedgeWindow is the sliding-window size for latency-percentile deadlines.
+const hedgeWindow = 64
+
+// minPercentileSamples gates percentile deadlines until the window has seen
+// enough completions to be meaningful.
+const minPercentileSamples = 8
+
+// Hedge issues a second identical request when the first has not completed
+// by a deadline — a fixed delay, or a percentile of recently observed call
+// latencies once enough samples exist — and returns whichever leg succeeds
+// first, cancelling the loser. Tail-latency insurance for slow-trickle
+// endpoints: the cost is at most one duplicate call per slow request.
+//
+// Hedging trades determinism of *which* leg answers for latency, so its
+// counters bind volatile; it belongs in HTTP deployments, not in
+// byte-identical benchmark runs.
+type Hedge struct {
+	after      time.Duration
+	percentile float64
+	clock      llm.Clock
+
+	mu     sync.Mutex
+	window []time.Duration
+	next   int
+	full   bool
+
+	launched obs.Counter
+	won      obs.Counter
+}
+
+// NewHedge builds a Hedge middleware firing after the fixed delay, or after
+// the given latency percentile (e.g. 0.95) of a 64-call sliding window once
+// warmed up. A nil clock defaults to llm.SystemClock.
+func NewHedge(after time.Duration, percentile float64, clock llm.Clock) *Hedge {
+	if clock == nil {
+		clock = llm.SystemClock
+	}
+	return &Hedge{after: after, percentile: percentile, clock: clock, window: make([]time.Duration, 0, hedgeWindow)}
+}
+
+// Launched returns how many hedge legs were issued.
+func (h *Hedge) Launched() int64 { return h.launched.Load() }
+
+// Won returns how many hedge legs beat their primary.
+func (h *Hedge) Won() int64 { return h.won.Load() }
+
+// BindObs adopts the hedge counters by reference (volatile: which leg wins
+// is scheduling-dependent).
+func (h *Hedge) BindObs(b obs.Binder) {
+	b.BindCounter(obs.MLLMHedges, &h.launched, true)
+	b.BindCounter(obs.MLLMHedgesWon, &h.won, true)
+}
+
+// observe records a successful call's latency into the sliding window.
+func (h *Hedge) observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.window) < hedgeWindow {
+		h.window = append(h.window, d)
+		return
+	}
+	h.window[h.next] = d
+	h.next = (h.next + 1) % hedgeWindow
+	h.full = true
+}
+
+// deadline computes the current hedge delay.
+func (h *Hedge) deadline() time.Duration {
+	if h.percentile <= 0 {
+		return h.after
+	}
+	h.mu.Lock()
+	n := len(h.window)
+	if n < minPercentileSamples {
+		h.mu.Unlock()
+		return h.after
+	}
+	samples := make([]time.Duration, n)
+	copy(samples, h.window)
+	h.mu.Unlock()
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := int(h.percentile * float64(n-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	d := samples[idx]
+	if d <= 0 {
+		return h.after
+	}
+	return d
+}
+
+// Wrap implements llm.Middleware. The result channel is buffered to hold
+// both legs so neither goroutine can block on send after the handler
+// returns — the no-goroutine-leak guarantee under cancellation.
+func (h *Hedge) Wrap(next llm.Handler) llm.Handler {
+	return func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		type legResult struct {
+			rep   llm.Reply
+			err   error
+			hedge bool
+		}
+		hctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		results := make(chan legResult, 2)
+		start := h.clock.Now()
+		run := func(hedged bool) {
+			rep, err := next(hctx, c)
+			results <- legResult{rep: rep, err: err, hedge: hedged}
+		}
+		go run(false)
+		timer := make(chan struct{}, 1)
+		go func() {
+			if h.clock.Sleep(hctx, h.deadline()) == nil {
+				timer <- struct{}{}
+			}
+		}()
+		pending := 1
+		hedged := false
+		var firstErr error
+		for {
+			select {
+			case r := <-results:
+				pending--
+				if r.err == nil {
+					h.observe(h.clock.Now().Sub(start))
+					if r.hedge {
+						h.won.Add(1)
+					}
+					return r.rep, nil
+				}
+				if firstErr == nil {
+					firstErr = r.err
+				}
+				if pending == 0 {
+					return llm.Reply{}, firstErr
+				}
+			case <-timer:
+				if !hedged && pending > 0 {
+					hedged = true
+					pending++
+					h.launched.Add(1)
+					go run(true)
+				}
+			case <-ctx.Done():
+				return llm.Reply{}, ctx.Err()
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sqlbarber/internal/llm"
+)
+
+// gateClock is a Clock whose Sleep blocks until the test releases it (or the
+// context dies), letting tests decide exactly when the hedge timer fires.
+type gateClock struct {
+	releases chan struct{}
+}
+
+func newGateClock() *gateClock { return &gateClock{releases: make(chan struct{}, 16)} }
+
+func (g *gateClock) Now() time.Time { return time.Unix(0, 0) }
+
+func (g *gateClock) Sleep(ctx context.Context, d time.Duration) error {
+	select {
+	case <-g.releases:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// fire releases one pending (or future) Sleep.
+func (g *gateClock) fire() { g.releases <- struct{}{} }
+
+func TestHedgeSecondRequestWins(t *testing.T) {
+	clock := newGateClock()
+	h := NewHedge(time.Second, 0, clock)
+	var started atomic.Int64
+	primaryBlocked := make(chan struct{})
+	handler := h.Wrap(func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		if started.Add(1) == 1 {
+			close(primaryBlocked)
+			<-ctx.Done() // primary hangs until the winner cancels it
+			return llm.Reply{}, ctx.Err()
+		}
+		return llm.Reply{Text: "from hedge"}, nil
+	})
+	done := make(chan struct{})
+	var rep llm.Reply
+	var err error
+	go func() {
+		rep, err = handler(context.Background(), call())
+		close(done)
+	}()
+	<-primaryBlocked
+	clock.fire() // hedge deadline passes
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hedged call did not complete")
+	}
+	if err != nil || rep.Text != "from hedge" {
+		t.Fatalf("rep=%+v err=%v", rep, err)
+	}
+	if h.Launched() != 1 || h.Won() != 1 {
+		t.Fatalf("launched=%d won=%d, want 1/1", h.Launched(), h.Won())
+	}
+}
+
+// TestHedgeCancellationReleasesBothLegs is the satellite regression test:
+// cancelling the caller's context mid-hedge must release both in-flight
+// requests promptly — no goroutine leak under -race.
+func TestHedgeCancellationReleasesBothLegs(t *testing.T) {
+	clock := newGateClock()
+	h := NewHedge(time.Second, 0, clock)
+	var started, finished atomic.Int64
+	bothStarted := make(chan struct{})
+	handler := h.Wrap(func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		if started.Add(1) == 2 {
+			close(bothStarted)
+		}
+		defer finished.Add(1)
+		<-ctx.Done()
+		return llm.Reply{}, ctx.Err()
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := handler(ctx, call())
+		done <- err
+	}()
+	clock.fire() // launch the hedge leg
+	<-bothStarted
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not unwind the hedge")
+	}
+	// Both legs must terminate; the buffered results channel guarantees
+	// neither blocks on send after the handler returned.
+	deadline := time.Now().Add(5 * time.Second)
+	for finished.Load() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("leaked hedge legs: %d of 2 finished", finished.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestHedgePrimaryErrorReturnsWithoutHedge(t *testing.T) {
+	clock := newGateClock()
+	h := NewHedge(time.Hour, 0, clock)
+	var calls atomic.Int64
+	handler := h.Wrap(func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		calls.Add(1)
+		return llm.Reply{}, errors.New("primary failed fast")
+	})
+	_, err := handler(context.Background(), call())
+	if err == nil || calls.Load() != 1 {
+		t.Fatalf("calls=%d err=%v", calls.Load(), err)
+	}
+	if h.Launched() != 0 {
+		t.Fatalf("hedge launched despite fast primary failure")
+	}
+}
+
+func TestHedgePercentileDeadlineWarmsUp(t *testing.T) {
+	h := NewHedge(time.Minute, 0.9, llm.NewFakeClock())
+	if d := h.deadline(); d != time.Minute {
+		t.Fatalf("cold deadline = %v, want the fixed fallback", d)
+	}
+	for i := 1; i <= 20; i++ {
+		h.observe(time.Duration(i) * time.Millisecond)
+	}
+	d := h.deadline()
+	if d < 15*time.Millisecond || d > 20*time.Millisecond {
+		t.Fatalf("p90 of 1..20ms = %v, want ~18ms", d)
+	}
+}

@@ -1,0 +1,25 @@
+package resilience
+
+import (
+	"context"
+
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/obs"
+)
+
+// Latency observes per-call wall-clock latency (milliseconds, including
+// every resilience layer beneath it) into the run's obs sink under
+// obs.HLLMLatencyMS. The histogram is wall-clock-valued, so pipelines mark
+// it volatile (obs.HistogramMarker) to keep it out of stable snapshots.
+type Latency struct{}
+
+// Wrap implements llm.Middleware.
+func (Latency) Wrap(next llm.Handler) llm.Handler {
+	return func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		sink := obs.FromContext(ctx)
+		start := sink.Now()
+		rep, err := next(ctx, c)
+		sink.Observe(obs.HLLMLatencyMS, float64(sink.Now().Sub(start).Milliseconds()))
+		return rep, err
+	}
+}

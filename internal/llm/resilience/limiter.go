@@ -1,0 +1,109 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/obs"
+)
+
+// Limiter enforces a token-bucket request rate and a concurrency cap so a
+// wide -parallel fan-out cannot stampede the endpoint: each call first takes
+// a concurrency slot (bounding in-flight requests), then a rate token
+// (bounding request frequency), sleeping through the clock until one
+// accrues. Both waits are context-aware.
+type Limiter struct {
+	rate  float64 // tokens per second; <= 0 disables rate limiting
+	burst float64
+	clock llm.Clock
+	sem   chan struct{} // nil disables the concurrency cap
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	waits obs.Counter
+}
+
+// NewLimiter builds a Limiter allowing rate requests/second with the given
+// burst (min 1 when rate limiting is on) and at most maxConcurrent in-flight
+// calls (0 = unlimited). A nil clock defaults to llm.SystemClock.
+func NewLimiter(rate float64, burst int, maxConcurrent int, clock llm.Clock) *Limiter {
+	if clock == nil {
+		clock = llm.SystemClock
+	}
+	l := &Limiter{rate: rate, clock: clock}
+	if rate > 0 {
+		if burst < 1 {
+			burst = 1
+		}
+		l.burst = float64(burst)
+		l.tokens = l.burst
+	}
+	if maxConcurrent > 0 {
+		l.sem = make(chan struct{}, maxConcurrent)
+	}
+	return l
+}
+
+// Waits returns how many times a call had to sleep for a rate token.
+func (l *Limiter) Waits() int64 { return l.waits.Load() }
+
+// BindObs adopts the wait counter by reference (volatile: contention
+// depends on scheduling).
+func (l *Limiter) BindObs(b obs.Binder) {
+	b.BindCounter(obs.MLLMLimiterWaits, &l.waits, true)
+}
+
+// take blocks until a rate token is available or ctx dies.
+func (l *Limiter) take(ctx context.Context) error {
+	if l.rate <= 0 {
+		return ctx.Err()
+	}
+	for {
+		l.mu.Lock()
+		now := l.clock.Now()
+		if l.last.IsZero() {
+			l.last = now
+		}
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+		l.last = now
+		if l.tokens >= 1 {
+			l.tokens--
+			l.mu.Unlock()
+			return nil
+		}
+		need := time.Duration((1 - l.tokens) / l.rate * float64(time.Second))
+		l.mu.Unlock()
+		l.waits.Add(1)
+		if need < time.Millisecond {
+			need = time.Millisecond
+		}
+		if err := l.clock.Sleep(ctx, need); err != nil {
+			return err
+		}
+	}
+}
+
+// Wrap implements llm.Middleware.
+func (l *Limiter) Wrap(next llm.Handler) llm.Handler {
+	return func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		if l.sem != nil {
+			select {
+			case l.sem <- struct{}{}:
+				defer func() { <-l.sem }()
+			case <-ctx.Done():
+				return llm.Reply{}, ctx.Err()
+			}
+		}
+		if err := l.take(ctx); err != nil {
+			return llm.Reply{}, err
+		}
+		return next(ctx, c)
+	}
+}

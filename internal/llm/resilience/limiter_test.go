@@ -1,0 +1,87 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sqlbarber/internal/llm"
+)
+
+func TestLimiterRateWaitsThroughClock(t *testing.T) {
+	clock := llm.NewFakeClock()
+	l := NewLimiter(2, 1, 0, clock) // 2 calls/sec, burst 1
+	h := l.Wrap(func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		return llm.Reply{Text: "ok"}, nil
+	})
+	for i := 0; i < 4; i++ {
+		if _, err := h(context.Background(), call()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Burst covers the first call; the other three each wait ~500ms.
+	if l.Waits() != 3 {
+		t.Fatalf("waits=%d, want 3", l.Waits())
+	}
+	var total time.Duration
+	for _, d := range clock.Sleeps() {
+		total += d
+	}
+	if total < 1400*time.Millisecond || total > 1600*time.Millisecond {
+		t.Fatalf("total waited %v, want ~1.5s", total)
+	}
+}
+
+func TestLimiterConcurrencyCap(t *testing.T) {
+	l := NewLimiter(0, 0, 2, llm.SystemClock)
+	var inFlight, peak atomic.Int64
+	release := make(chan struct{})
+	h := l.Wrap(func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		<-release
+		inFlight.Add(-1)
+		return llm.Reply{}, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h(context.Background(), call())
+		}()
+	}
+	// Let goroutines pile up against the semaphore, then drain.
+	for inFlight.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := peak.Load(); got > 2 {
+		t.Fatalf("peak concurrency %d exceeded cap 2", got)
+	}
+}
+
+func TestLimiterCancellationWhileWaiting(t *testing.T) {
+	clock := llm.NewFakeClock()
+	l := NewLimiter(1, 1, 0, clock)
+	h := l.Wrap(func(ctx context.Context, c *llm.Call) (llm.Reply, error) {
+		return llm.Reply{}, nil
+	})
+	if _, err := h(context.Background(), call()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := h(ctx, call()); err == nil {
+		t.Fatal("cancelled context must interrupt the token wait")
+	}
+}

@@ -23,10 +23,11 @@ type Collector struct {
 	events   []Event
 	nextSpan int64
 
-	counters map[string]*Counter
-	bound    map[string]boundCounter
-	gauges   map[string]float64
-	hists    map[string]*histogram
+	counters      map[string]*Counter
+	bound         map[string]boundCounter
+	gauges        map[string]float64
+	hists         map[string]*histogram
+	volatileHists map[string]bool
 }
 
 type boundCounter struct {
@@ -53,11 +54,12 @@ func WithClock(fn func() time.Time) Option {
 // NewCollector builds an empty collector.
 func NewCollector(opts ...Option) *Collector {
 	c := &Collector{
-		clock:    time.Now,
-		counters: map[string]*Counter{},
-		bound:    map[string]boundCounter{},
-		gauges:   map[string]float64{},
-		hists:    map[string]*histogram{},
+		clock:         time.Now,
+		counters:      map[string]*Counter{},
+		bound:         map[string]boundCounter{},
+		gauges:        map[string]float64{},
+		hists:         map[string]*histogram{},
+		volatileHists: map[string]bool{},
 	}
 	for _, o := range opts {
 		o(c)
@@ -158,6 +160,15 @@ func (c *Collector) BindCounter(name string, ctr *Counter, volatile bool) {
 	c.mu.Unlock()
 }
 
+// MarkVolatileHistogram implements HistogramMarker: the named histogram's
+// observations depend on wall-clock time or scheduling (e.g. per-call oracle
+// latency), so Stable() drops it the same way volatile counters are dropped.
+func (c *Collector) MarkVolatileHistogram(name string) {
+	c.mu.Lock()
+	c.volatileHists[name] = true
+	c.mu.Unlock()
+}
+
 // Events returns a copy of the recorded trace.
 func (c *Collector) Events() []Event {
 	c.mu.Lock()
@@ -238,11 +249,12 @@ type GaugePoint struct {
 // HistogramPoint is one histogram in a snapshot. Counts has one entry per
 // bound plus a final +Inf bucket; Sum and Count summarize all observations.
 type HistogramPoint struct {
-	Name   string
-	Bounds []float64
-	Counts []int64
-	Sum    float64
-	Count  int64
+	Name     string
+	Bounds   []float64
+	Counts   []int64
+	Sum      float64
+	Count    int64
+	Volatile bool
 }
 
 // Snapshot is the folded metric state at one instant, with every section
@@ -277,11 +289,12 @@ func (c *Collector) Snapshot() Snapshot {
 		counts := make([]int64, len(h.counts))
 		copy(counts, h.counts)
 		s.Histograms = append(s.Histograms, HistogramPoint{
-			Name:   name,
-			Bounds: h.bounds,
-			Counts: counts,
-			Sum:    h.sum,
-			Count:  h.n,
+			Name:     name,
+			Bounds:   h.bounds,
+			Counts:   counts,
+			Sum:      h.sum,
+			Count:    h.n,
+			Volatile: c.volatileHists[name],
 		})
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
@@ -310,13 +323,18 @@ func (s Snapshot) Gauge(name string) (float64, bool) {
 	return 0, false
 }
 
-// Stable returns the snapshot without volatile counters: the subset that is
-// deterministic across worker counts and schedules.
+// Stable returns the snapshot without volatile counters and histograms: the
+// subset that is deterministic across worker counts and schedules.
 func (s Snapshot) Stable() Snapshot {
-	out := Snapshot{Gauges: s.Gauges, Histograms: s.Histograms}
+	out := Snapshot{Gauges: s.Gauges}
 	for _, c := range s.Counters {
 		if !c.Volatile {
 			out.Counters = append(out.Counters, c)
+		}
+	}
+	for _, h := range s.Histograms {
+		if !h.Volatile {
+			out.Histograms = append(out.Histograms, h)
 		}
 	}
 	return out

@@ -42,6 +42,21 @@ const (
 	MLLMFixSemanticsCalls = "llm_fix_semantics_calls"
 	MLLMFixExecutionCalls = "llm_fix_execution_calls"
 	MLLMRefineCalls       = "llm_refine_calls"
+	// LLM resilience middleware (internal/llm/resilience). Retry and
+	// fault-injection counts are pure functions of call content and a seed,
+	// so they are stable across worker counts; hedge/breaker/limiter/cache
+	// activity depends on scheduling and on cross-run persistent state, so
+	// those bind volatile.
+	MLLMRetries         = "llm_retries"
+	MLLMFaultsInjected  = "llm_faults_injected"
+	MLLMHedges          = "llm_hedges"
+	MLLMHedgesWon       = "llm_hedges_won"
+	MLLMBreakerOpens    = "llm_breaker_open"
+	MLLMBreakerRejected = "llm_breaker_rejected"
+	MLLMLimiterWaits    = "llm_limiter_waits"
+	MLLMCacheHits       = "llm_cache_hits"
+	MLLMCacheMisses     = "llm_cache_misses"
+	MLLMCacheWriteFails = "llm_cache_write_fails"
 
 	// DBMS budget (bound from engine.DB: lifetime totals of the database).
 	MDBExplainCalls  = "db_explain_calls"
@@ -94,6 +109,10 @@ const (
 	HGenAttempts   = "generator_attempts_per_template"
 	HProfileProbes = "profiler_probes_per_template"
 	HSearchBudget  = "search_bo_budget"
+	// Per-call oracle latency in milliseconds, observed by the resilience
+	// Latency middleware. Wall-clock-valued, hence volatile: excluded from
+	// stable snapshots via Collector.MarkVolatileHistogram.
+	HLLMLatencyMS = "llm_call_latency_ms"
 )
 
 // Attr is one key/value annotation on a span or event.
@@ -219,6 +238,14 @@ func (c *Counter) Store(d int64) {
 // (Snapshot.Stable).
 type Binder interface {
 	BindCounter(name string, c *Counter, volatile bool)
+}
+
+// HistogramMarker is implemented by sinks that can flag a histogram as
+// volatile (wall-clock- or scheduling-valued, e.g. per-call oracle latency)
+// so it is excluded from the deterministic snapshot alongside volatile
+// counters.
+type HistogramMarker interface {
+	MarkVolatileHistogram(name string)
 }
 
 // nop is the no-op sink and span.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"sqlbarber/internal/engine"
 	"sqlbarber/internal/llm"
@@ -51,20 +52,27 @@ func runSignature(res *Result) string {
 // still not move with the worker count.
 func TestParallelByteIdentical(t *testing.T) {
 	datasets := []struct {
-		name string
-		open func() *engine.DB
-		kind engine.CostKind
+		name   string
+		open   func() *engine.DB
+		kind   engine.CostKind
+		faulty bool
 	}{
-		{"tpch", func() *engine.DB { return engine.OpenTPCH(17, 0.05) }, engine.Cardinality},
-		{"imdb", func() *engine.DB { return engine.OpenIMDB(17, 0.05) }, engine.Cardinality},
-		{"tpch-measured", func() *engine.DB { return engine.OpenTPCH(17, 0.02) }, engine.RowsProcessed},
+		{"tpch", func() *engine.DB { return engine.OpenTPCH(17, 0.05) }, engine.Cardinality, false},
+		{"imdb", func() *engine.DB { return engine.OpenIMDB(17, 0.05) }, engine.Cardinality, false},
+		{"tpch-measured", func() *engine.DB { return engine.OpenTPCH(17, 0.02) }, engine.RowsProcessed, false},
+		// tpch-faulty reruns the tpch case through a Retry+Faults resilience
+		// chain: a 20% deterministic fault schedule with a retry budget above
+		// the fault window must not move a single output byte at any worker
+		// count, and the stable snapshot (which now carries llm_retries and
+		// llm_faults_injected) must be identical too.
+		{"tpch-faulty", func() *engine.DB { return engine.OpenTPCH(17, 0.05) }, engine.Cardinality, true},
 	}
 	for _, ds := range datasets {
 		t.Run(ds.name, func(t *testing.T) {
 			// run executes at the given worker count, optionally observed,
 			// and returns the run signature plus the rendered stable metric
 			// snapshot ("" when unobserved).
-			run := func(parallel int, observed bool) (string, string) {
+			run := func(parallel int, observed, faulty bool) (string, string) {
 				cfg := Config{
 					DB:       ds.open(),
 					Oracle:   llm.NewSim(llm.SimOptions{Seed: 17}),
@@ -73,6 +81,15 @@ func TestParallelByteIdentical(t *testing.T) {
 					Target:   stats.Uniform(0, 1200, 4, 40),
 					Seed:     17,
 					Parallel: parallel,
+				}
+				if faulty {
+					cfg.Resilience = &ResiliencePolicy{
+						Retry:         llm.RetryPolicy{MaxAttempts: 4, BaseBackoff: 5 * time.Millisecond, Jitter: 0.3},
+						FaultRate:     0.2,
+						FaultAttempts: 2,
+						FaultSeed:     17,
+						Clock:         llm.NewFakeClock(),
+					}
 				}
 				var collector *obs.Collector
 				if observed {
@@ -93,18 +110,18 @@ func TestParallelByteIdentical(t *testing.T) {
 				}
 				return runSignature(res), metrics
 			}
-			seq, _ := run(1, false)
-			seqObserved, seqMetrics := run(1, true)
+			seq, _ := run(1, false, ds.faulty)
+			seqObserved, seqMetrics := run(1, true, ds.faulty)
 			if seqObserved != seq {
 				t.Fatalf("%s: attaching a collector changed the sequential run\n%s",
 					ds.name, firstDiff(seq, seqObserved))
 			}
 			for _, par := range []int{2, 8} {
-				if got, _ := run(par, false); got != seq {
+				if got, _ := run(par, false, ds.faulty); got != seq {
 					t.Fatalf("%s: -parallel %d diverged from sequential\n%s",
 						ds.name, par, firstDiff(seq, got))
 				}
-				got, metrics := run(par, true)
+				got, metrics := run(par, true, ds.faulty)
 				if got != seq {
 					t.Fatalf("%s: -parallel %d with collector diverged from sequential\n%s",
 						ds.name, par, firstDiff(seq, got))
@@ -114,8 +131,36 @@ func TestParallelByteIdentical(t *testing.T) {
 						ds.name, par, firstDiff(seqMetrics, metrics))
 				}
 			}
+			if ds.faulty {
+				// Recovery by construction: the faulty chain must reproduce
+				// the fault-free run byte for byte — faults burn retries,
+				// never entropy.
+				if clean, _ := run(1, false, false); clean != seq {
+					t.Fatalf("%s: faulty run diverged from fault-free baseline\n%s",
+						ds.name, firstDiff(clean, seq))
+				}
+				// And the test is not vacuous: the schedule actually fired.
+				for _, metric := range []string{"sqlbarber_llm_faults_injected_total", "sqlbarber_llm_retries_total"} {
+					if !metricNonZero(seqMetrics, metric) {
+						t.Fatalf("%s: %s is zero or absent in the stable snapshot; fault injection never fired\n%s",
+							ds.name, metric, seqMetrics)
+					}
+				}
+			}
 		})
 	}
+}
+
+// metricNonZero reports whether the rendered Prometheus snapshot carries the
+// named sample with a value other than 0.
+func metricNonZero(metrics, name string) bool {
+	for _, line := range strings.Split(metrics, "\n") {
+		val, ok := strings.CutPrefix(line, name+" ")
+		if ok && val != "0" {
+			return true
+		}
+	}
+	return false
 }
 
 // firstDiff trims two signatures to the first differing line for readable

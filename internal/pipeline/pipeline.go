@@ -24,6 +24,7 @@ import (
 	"sqlbarber/internal/search"
 	"sqlbarber/internal/spec"
 	"sqlbarber/internal/stats"
+	"sqlbarber/internal/storage"
 	"sqlbarber/internal/workload"
 )
 
@@ -126,6 +127,14 @@ type Config struct {
 	GenOpts    generator.Options
 	RefineOpts refine.Options
 	SearchOpts search.Options
+
+	// Resilience, when non-nil, wraps the oracle in the middleware chain it
+	// describes (retry, hedging, circuit breaking, rate limiting, fault
+	// injection). Set via WithResilience, which validates the policy.
+	Resilience *ResiliencePolicy
+	// OracleCache, when non-nil, is the persistent prompt cache layered
+	// outermost over the paid oracle. Set via WithOracleCacheDir.
+	OracleCache *storage.PromptCache
 
 	// Obs receives the run's trace and metrics (spans, counters, gauges,
 	// histograms). Nil means obs.Nop: observation is pure, so attaching a
@@ -265,6 +274,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		cfg.Parallel = 1
 	}
 	cfg.Ablations = cfg.Ablations.merge(cfg.DisableRefine, cfg.NaiveSearch, cfg.IndependentSampling)
+	cfg.Oracle = chainOracle(&cfg)
 
 	sink := cfg.Obs
 	if sink == nil {
@@ -279,6 +289,16 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		cfg.DB.BindObs(b)
 		if m, ok := cfg.Oracle.(llm.Metered); ok {
 			m.Ledger().BindObs(b)
+		}
+		// A chained oracle (built here or handed in pre-chained) carries
+		// middleware counters; adopt them by reference the same way. The
+		// wall-clock latency histogram is marked volatile so Stable()
+		// snapshots stay byte-identical across worker counts.
+		if ob, ok := cfg.Oracle.(llm.ObsBinder); ok {
+			ob.BindObs(b)
+			if hm, ok := sink.(obs.HistogramMarker); ok {
+				hm.MarkVolatileHistogram(obs.HLLMLatencyMS)
+			}
 		}
 	}
 	if cfg.Progress != nil {

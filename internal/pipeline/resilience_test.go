@@ -1,0 +1,130 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sqlbarber/internal/engine"
+	"sqlbarber/internal/llm"
+	"sqlbarber/internal/stats"
+)
+
+// TestResilienceOptionValidation asserts WithResilience and
+// WithOracleCacheDir reject bad configurations with their coded errors,
+// matchable via errors.Is like the rest of the option family.
+func TestResilienceOptionValidation(t *testing.T) {
+	db := engine.OpenTPCH(1, 0.02)
+	oracle := llm.NewSim(llm.SimOptions{Seed: 1})
+	specs := smallSpecs()
+	target := stats.Uniform(0, 100, 2, 4)
+
+	blocked := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		opt  Option
+		err  error
+	}{
+		{"negative retry", WithResilience(ResiliencePolicy{Retry: llm.RetryPolicy{MaxAttempts: -1}}), ErrBadResilience},
+		{"jitter > 1", WithResilience(ResiliencePolicy{Retry: llm.RetryPolicy{MaxAttempts: 2, Jitter: 1.5}}), ErrBadResilience},
+		{"hedge percentile 1", WithResilience(ResiliencePolicy{HedgePercentile: 1}), ErrBadResilience},
+		{"fault rate > 1", WithResilience(ResiliencePolicy{FaultRate: 1.5, Retry: llm.RetryPolicy{MaxAttempts: 9}}), ErrBadResilience},
+		{"faults without retry budget", WithResilience(ResiliencePolicy{FaultRate: 0.2}), ErrBadResilience},
+		{"faults equal to retry budget", WithResilience(ResiliencePolicy{FaultRate: 0.2, FaultAttempts: 3, Retry: llm.RetryPolicy{MaxAttempts: 3}}), ErrBadResilience},
+		{"empty cache dir", WithOracleCacheDir("  "), ErrBadCacheDir},
+		{"cache dir is a file", WithOracleCacheDir(filepath.Join(blocked, "sub")), ErrBadCacheDir},
+	}
+	for _, tc := range cases {
+		if _, err := New(db, oracle, specs, target, tc.opt); !errors.Is(err, tc.err) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.err)
+		}
+	}
+
+	// A recoverable fault policy and a writable cache dir both pass.
+	ok := []Option{
+		WithResilience(ResiliencePolicy{FaultRate: 0.2, FaultAttempts: 2, Retry: llm.RetryPolicy{MaxAttempts: 3}}),
+		WithOracleCacheDir(filepath.Join(t.TempDir(), "prompts")),
+	}
+	if _, err := New(db, oracle, specs, target, ok...); err != nil {
+		t.Fatalf("valid resilience options rejected: %v", err)
+	}
+}
+
+// TestParseResiliencePolicy pins the -llm-policy grammar.
+func TestParseResiliencePolicy(t *testing.T) {
+	p, err := ParseResiliencePolicy("retry=4, backoff=100ms, maxbackoff=2s, jitter=0.3, hedge=500ms, hedgepct=0.95, breaker=5, cooldown=30s, rate=2.5, burst=4, conc=8, fault=0.2, faultattempts=2, faultseed=17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ResiliencePolicy{
+		Retry:            llm.RetryPolicy{MaxAttempts: 4, BaseBackoff: 100 * time.Millisecond, MaxBackoff: 2 * time.Second, Jitter: 0.3},
+		HedgeAfter:       500 * time.Millisecond,
+		HedgePercentile:  0.95,
+		BreakerThreshold: 5,
+		BreakerCooldown:  30 * time.Second,
+		RateLimit:        2.5,
+		RateBurst:        4,
+		MaxConcurrent:    8,
+		FaultRate:        0.2,
+		FaultAttempts:    2,
+		FaultSeed:        17,
+	}
+	if p != want {
+		t.Fatalf("parsed %+v\nwant %+v", p, want)
+	}
+
+	for _, bad := range []string{
+		"",
+		"retry",
+		"retry=x",
+		"warp=9",
+		"backoff=100",       // duration without unit
+		"fault=0.5",         // no retry budget to recover with
+		"retry=2,fault=0.5", // budget not above the default fault window
+		"retry=4,jitter=2",  // out of range
+	} {
+		if _, err := ParseResiliencePolicy(bad); !errors.Is(err, ErrBadResilience) {
+			t.Errorf("ParseResiliencePolicy(%q) = %v, want ErrBadResilience", bad, err)
+		}
+	}
+}
+
+// TestOracleCacheWarmRunServesFromDisk is the cache-win contract at pipeline
+// level: a second run over the same cache directory with the same seed must
+// reproduce the workload byte for byte while consuming ZERO paid oracle
+// calls — every prompt is served from disk.
+func TestOracleCacheWarmRunServesFromDisk(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "prompts")
+	run := func() (string, int64) {
+		db := engine.OpenTPCH(17, 0.05)
+		sim := llm.NewSim(llm.SimOptions{Seed: 17})
+		p, err := New(db, sim, smallSpecs(), stats.Uniform(0, 1200, 4, 40),
+			WithSeed(17), WithOracleCacheDir(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runSignature(res), sim.Ledger().Calls()
+	}
+	cold, coldCalls := run()
+	if coldCalls == 0 {
+		t.Fatal("cold run consumed no oracle calls; test is vacuous")
+	}
+	warm, warmCalls := run()
+	if warm != cold {
+		t.Fatalf("warm rerun diverged from cold run\n%s", firstDiff(cold, warm))
+	}
+	if warmCalls != 0 {
+		t.Fatalf("warm rerun paid %d oracle calls, want 0 (all prompts cached)", warmCalls)
+	}
+}

@@ -1,0 +1,118 @@
+package storage
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// PromptCache is a content-addressed, persistent prompt→completion store:
+// one file per entry, named by the SHA-256 of the call fingerprint, living
+// under a caller-chosen directory. Reruns of a pipeline (and repeated repair
+// loops within one run) look identical prompts up here before paying for an
+// LLM call. Writes are atomic (temp file + rename) so a crashed run never
+// leaves a truncated entry behind; a concurrent duplicate write simply
+// replaces the entry with identical bytes.
+type PromptCache struct {
+	dir string
+}
+
+// ErrBadCacheKey reports a key that is not a hex SHA-256 digest. Keys double
+// as file names, so anything else is rejected before it can escape the cache
+// directory.
+var ErrBadCacheKey = errors.New("storage: prompt cache key must be a hex sha256 digest")
+
+// OpenPromptCache opens (creating if needed) a prompt cache rooted at dir.
+func OpenPromptCache(dir string) (*PromptCache, error) {
+	if dir == "" {
+		return nil, errors.New("storage: prompt cache dir must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: opening prompt cache: %w", err)
+	}
+	return &PromptCache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (pc *PromptCache) Dir() string { return pc.dir }
+
+// CacheKey derives the content address for arbitrary fingerprint text.
+func CacheKey(fingerprint string) string {
+	sum := sha256.Sum256([]byte(fingerprint))
+	return hex.EncodeToString(sum[:])
+}
+
+// validKey accepts exactly the output shape of CacheKey.
+func validKey(key string) bool {
+	if len(key) != 2*sha256.Size {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (pc *PromptCache) path(key string) string {
+	return filepath.Join(pc.dir, key+".json")
+}
+
+// Get returns the entry stored under key, reporting whether it exists.
+// Malformed keys and unreadable entries read as misses — the cache is an
+// optimization, never a correctness dependency.
+func (pc *PromptCache) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	data, err := os.ReadFile(pc.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put stores data under key atomically.
+func (pc *PromptCache) Put(key string, data []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("%w: %q", ErrBadCacheKey, key)
+	}
+	tmp, err := os.CreateTemp(pc.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("storage: prompt cache put: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("storage: prompt cache put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("storage: prompt cache put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), pc.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("storage: prompt cache put: %w", err)
+	}
+	return nil
+}
+
+// Len counts the entries currently stored (diagnostics and benchmarks).
+func (pc *PromptCache) Len() (int, error) {
+	entries, err := os.ReadDir(pc.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,83 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPromptCacheRoundTrip(t *testing.T) {
+	pc, err := OpenPromptCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CacheKey("generate\x00SELECT 1")
+	if _, ok := pc.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if err := pc.Put(key, []byte(`{"text":"SELECT 1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := pc.Get(key)
+	if !ok || !bytes.Equal(data, []byte(`{"text":"SELECT 1"}`)) {
+		t.Fatalf("round trip: ok=%v data=%q", ok, data)
+	}
+	// Entries persist across re-opens of the same directory.
+	pc2, err := OpenPromptCache(pc.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pc2.Get(key); !ok {
+		t.Fatal("entry lost across reopen")
+	}
+	if n, err := pc2.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1", n, err)
+	}
+}
+
+func TestPromptCacheRejectsBadKeys(t *testing.T) {
+	pc, err := OpenPromptCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "short", "../../etc/passwd", strings.Repeat("Z", 64)} {
+		if err := pc.Put(key, []byte("x")); !errors.Is(err, ErrBadCacheKey) {
+			t.Errorf("Put(%q) error = %v, want ErrBadCacheKey", key, err)
+		}
+		if _, ok := pc.Get(key); ok {
+			t.Errorf("Get(%q) reported a hit", key)
+		}
+	}
+}
+
+func TestPromptCachePutIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	pc, err := OpenPromptCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CacheKey("k")
+	if err := pc.Put(key, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.Put(key, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := pc.Get(key)
+	if !ok || string(data) != "v2" {
+		t.Fatalf("overwrite: %q %v", data, ok)
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}

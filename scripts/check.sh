@@ -61,6 +61,18 @@
 #                              BENCH_intervals.json. Retried like the other
 #                              smokes for consistency (its gates are all
 #                              deterministic, so retries should never differ)
+#   9. cmd/benchmarks -exp resilience
+#                            — the oracle-resilience smoke: runs the pipeline
+#                              through the retry/fault-injection middleware
+#                              chain with a deterministic 20% fault schedule,
+#                              failing unless the workload hash matches the
+#                              fault-free baseline at 1/2/8 workers, and runs
+#                              a cold-then-warm persistent prompt-cache pair,
+#                              failing unless the warm rerun pays ≥30% fewer
+#                              LLM calls while reproducing the same workload.
+#                              Refreshes BENCH_resilience.json. Retried like
+#                              the other smokes for consistency (its gates
+#                              are deterministic)
 #
 # Run it from anywhere; it changes to the repo root first. Any failure stops
 # the chain with a non-zero exit.
@@ -132,6 +144,20 @@ for attempt in 1 2 3; do
 done
 if [ "${intervals_ok}" -ne 1 ]; then
   echo "intervals smoke failed 3 consecutive attempts — treating as a real regression" >&2
+  exit 1
+fi
+
+echo "== cmd/benchmarks -exp resilience (oracle resilience smoke) =="
+resilience_ok=0
+for attempt in 1 2 3; do
+  if go run ./cmd/benchmarks -exp resilience -resiliencejson BENCH_resilience.json; then
+    resilience_ok=1
+    break
+  fi
+  echo "resilience smoke attempt ${attempt} failed; retrying in a fresh process" >&2
+done
+if [ "${resilience_ok}" -ne 1 ]; then
+  echo "resilience smoke failed 3 consecutive attempts — treating as a real regression" >&2
   exit 1
 fi
 
