@@ -112,6 +112,7 @@ func LintDir(dir string) ([]Finding, error) {
 	floatStrict := isFloatStrictDir(dir)
 	slotOwner := isSlotOwnerDir(dir)
 	llmDir := isLLMDir(dir)
+	rfDir := isRFDir(dir)
 
 	var findings []Finding
 	report := func(pos token.Pos, code, msg string) {
@@ -142,6 +143,9 @@ func LintDir(dir string) ([]Finding, error) {
 			}
 			if llmDir && filepath.Base(pf.path) != "clock.go" {
 				checkClockDiscipline(pf.file, report)
+			}
+			if rfDir && filepath.Base(pf.path) != "reference.go" {
+				checkRecursionAlloc(pf.file, report)
 			}
 			checkIgnoredDBError(pf.file, report)
 		}
@@ -783,6 +787,79 @@ func isLLMDir(path string) bool {
 		}
 	}
 	return false
+}
+
+// isRFDir reports whether the directory lies inside internal/rf (any
+// depth). Like classifyDir it looks only at the segments after the innermost
+// testdata so fixtures can emulate placement.
+func isRFDir(path string) bool {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		abs = path
+	}
+	parts := strings.Split(filepath.ToSlash(abs), "/")
+	for i := len(parts) - 1; i >= 0; i-- {
+		if parts[i] == "testdata" {
+			parts = parts[i+1:]
+			break
+		}
+	}
+	for i, p := range parts {
+		if p == "internal" && i+1 < len(parts) && parts[i+1] == "rf" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRecursionAlloc flags make() calls inside self-recursive functions in
+// internal/rf (R010). Tree growing recurses once per node, so an allocation
+// inside the recursion multiplies into thousands of allocations per tree and
+// dominates training time — the forest keeps all per-node scratch on the
+// builder and reuses it across the recursion. reference.go is the one exempt
+// file: the naive pointer engine allocates per node on purpose, as the
+// differential-testing oracle and benchmark baseline.
+func checkRecursionAlloc(f *ast.File, report func(token.Pos, string, string)) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		name := fd.Name.Name
+		recursive := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == name {
+					recursive = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == name {
+					recursive = true
+				}
+			}
+			return !recursive
+		})
+		if !recursive {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" {
+				report(call.Pos(), "R010",
+					"make() inside recursive function "+name+" allocates once per tree node on the training hot path; "+
+						"hoist the buffer to the builder and reuse it across the recursion")
+			}
+			return true
+		})
+	}
 }
 
 // clockBypassFns are the time-package functions that block or schedule on

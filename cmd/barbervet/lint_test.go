@@ -324,6 +324,63 @@ func TestClockRuleScopedToLLMDirs(t *testing.T) {
 	}
 }
 
+func TestAllocFixtureTripsR010(t *testing.T) {
+	findings, err := LintDir(filepath.Join("testdata", "internal", "rf", "badalloc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r010 int
+	for _, f := range findings {
+		if f.Code == "R010" {
+			r010++
+		} else {
+			t.Errorf("unexpected non-R010 finding: %v", f)
+		}
+		if filepath.Base(f.Pos.Filename) == "reference.go" {
+			t.Errorf("R010 fired in the exempt reference.go: %v", f)
+		}
+		if f.Pos.Filename == "" || f.Pos.Line == 0 {
+			t.Errorf("finding %s has no position", f.Code)
+		}
+	}
+	if r010 != 3 {
+		t.Errorf("R010 fired %d time(s), want 3 (two in grow, one in build): %v", r010, findings)
+	}
+}
+
+// TestAllocRuleScopedToRFDirs asserts R010 stays silent outside internal/rf:
+// badpkg may allocate in recursion freely.
+func TestAllocRuleScopedToRFDirs(t *testing.T) {
+	findings, err := LintDir(filepath.Join("testdata", "internal", "badpkg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Code == "R010" {
+			t.Errorf("R010 fired outside internal/rf: %v", f)
+		}
+	}
+}
+
+// TestIsRFDir checks testdata-aware internal/rf path detection.
+func TestIsRFDir(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"/repo/internal/rf", true},
+		{"/repo/internal/engine", false},
+		{"/repo/internal/llm", false},
+		{"/repo/cmd/barbervet/testdata/internal/rf/badalloc", true},
+		{"/repo/cmd/barbervet/testdata/internal/badpkg", false},
+	}
+	for _, tc := range cases {
+		if got := isRFDir(tc.path); got != tc.want {
+			t.Errorf("isRFDir(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}
+
 // TestIsLLMDir checks testdata-aware internal/llm path detection, including
 // subpackages like internal/llm/resilience.
 func TestIsLLMDir(t *testing.T) {

@@ -45,6 +45,13 @@
 //	      Retry backoff, hedge deadlines, limiter waits, and fault stalls
 //	      must flow through the llm.Clock abstraction so a FakeClock keeps
 //	      oracle-stack tests deterministic and wall-clock free.
+//	R010  allocation in recursion in internal/rf: a make() call inside a
+//	      self-recursive function anywhere under internal/rf except
+//	      reference.go. Tree growing recurses once per node, so per-node
+//	      scratch must live on the tree builder and be reused across the
+//	      recursion; reference.go is exempt because the naive pointer
+//	      engine allocates per node on purpose (differential oracle and
+//	      benchmark baseline).
 //
 // Usage:
 //

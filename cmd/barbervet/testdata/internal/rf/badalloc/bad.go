@@ -1,0 +1,48 @@
+// Package badalloc is a barbervet fixture: allocation patterns R010 must
+// flag inside internal/rf — make() calls in self-recursive tree growing.
+package badalloc
+
+type node struct {
+	left, right *node
+	vals        []float64
+}
+
+// grow allocates fresh scratch at every node of the recursion: two make()
+// calls R010 must flag.
+func grow(ys []float64, depth int) *node {
+	vals := make([]float64, len(ys)) // want R010
+	ord := make([]int, len(ys))      // want R010
+	_ = ord
+	if depth == 0 || len(ys) < 2 {
+		return &node{vals: vals}
+	}
+	mid := len(ys) / 2
+	return &node{left: grow(ys[:mid], depth-1), right: grow(ys[mid:], depth-1)}
+}
+
+type builder struct {
+	scratch []float64
+}
+
+// build is method recursion with one allocation: R010 must flag it too.
+func (b *builder) build(lo, hi, depth int) *node {
+	if depth == 0 {
+		return &node{}
+	}
+	tmp := make([]float64, hi-lo) // want R010
+	_ = tmp
+	mid := (lo + hi) / 2
+	n := &node{}
+	n.left = b.build(lo, mid, depth-1)
+	n.right = b.build(mid, hi, depth-1)
+	return n
+}
+
+// prepare allocates but never recurses: R010 must stay silent here.
+func prepare(n int) []float64 {
+	buf := make([]float64, n)
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	return buf
+}

@@ -1,0 +1,12 @@
+// reference.go proves the R010 file exemption: the naive oracle engine may
+// allocate inside its recursion.
+package badalloc
+
+func refGrow(ys []float64, depth int) *node {
+	vals := make([]float64, len(ys)) // exempt: reference.go is the naive oracle
+	if depth == 0 {
+		return &node{vals: vals}
+	}
+	mid := len(ys) / 2
+	return &node{left: refGrow(ys[:mid], depth-1), right: refGrow(ys[mid:], depth-1)}
+}

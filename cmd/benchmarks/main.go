@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7queries|fig7intervals|fig8a|fig8b|table2|analyzer|parallel|probe|measured|obs|intervals|resilience|all")
+		exp       = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7queries|fig7intervals|fig8a|fig8b|table2|analyzer|parallel|probe|measured|obs|intervals|resilience|surrogate|all")
 		scale     = flag.String("scale", "quick", "scale: quick|full")
 		seed      = flag.Int64("seed", 1, "random seed")
 		methods   = flag.String("methods", "", "comma-separated method subset (default: all five)")
@@ -33,6 +33,7 @@ func main() {
 		measJSON  = flag.String("measuredjson", "BENCH_measured.json", "where -exp measured writes its JSON result (empty to skip)")
 		intvJSON  = flag.String("intervalsjson", "BENCH_intervals.json", "where -exp intervals writes its JSON result (empty to skip)")
 		resilJSON = flag.String("resiliencejson", "BENCH_resilience.json", "where -exp resilience writes its JSON result (empty to skip)")
+		surrJSON  = flag.String("surrogatejson", "BENCH_surrogate.json", "where -exp surrogate writes its JSON result (empty to skip)")
 	)
 	flag.Parse()
 	if *csvDir != "" {
@@ -156,6 +157,7 @@ func main() {
 	run("obs", func() error { _, err := r.RunObsOverhead(ctx, w); return err })
 	run("intervals", func() error { _, err := r.RunIntervalsBench(ctx, w, *intvJSON); return err })
 	run("resilience", func() error { _, err := r.RunResilienceBench(ctx, w, *resilJSON); return err })
+	run("surrogate", func() error { _, err := r.RunSurrogateBench(ctx, w, *surrJSON); return err })
 }
 
 // figure7Methods reduces to the three-series legend of Figure 7

@@ -3,6 +3,12 @@
 // confidence-bound acquisition function balancing exploitation and
 // exploration, Latin-Hypercube initialization, and warm-starting from
 // historical runs. It substitutes for the paper's SMAC3 dependency.
+//
+// The acquisition step is batched and allocation-free: Suggest generates the
+// full candidate pool up front into buffers reused across calls, scores it
+// in one Surrogate.PredictBatch sweep, and returns the LCB argmin. The
+// running best observation is tracked incrementally in Observe, so ranking
+// candidates never rescans the history.
 package bo
 
 import (
@@ -38,7 +44,14 @@ func (s Space) Size() float64 {
 
 // Denormalize maps a unit-cube point to parameter values.
 func (s Space) Denormalize(x []float64) []float64 {
-	out := make([]float64, len(s))
+	return s.DenormalizeInto(make([]float64, len(s)), x)
+}
+
+// DenormalizeInto is Denormalize writing into the caller's buffer
+// (len(dst) >= len(s)), returning dst[:len(s)]. Hot loops that denormalize
+// per candidate reuse one buffer instead of allocating.
+func (s Space) DenormalizeInto(dst, x []float64) []float64 {
+	dst = dst[:len(s)]
 	for i, p := range s {
 		v := p.Lo + x[i]*(p.Hi-p.Lo)
 		if p.Integer {
@@ -50,20 +63,27 @@ func (s Space) Denormalize(x []float64) []float64 {
 				v = p.Lo
 			}
 		}
-		out[i] = v
+		dst[i] = v
 	}
-	return out
+	return dst
 }
 
 // Normalize maps parameter values back to the unit cube.
 func (s Space) Normalize(vals []float64) []float64 {
-	out := make([]float64, len(s))
+	return s.NormalizeInto(make([]float64, len(s)), vals)
+}
+
+// NormalizeInto is Normalize writing into the caller's buffer
+// (len(dst) >= len(s)), returning dst[:len(s)].
+func (s Space) NormalizeInto(dst, vals []float64) []float64 {
+	dst = dst[:len(s)]
 	for i, p := range s {
+		dst[i] = 0
 		if p.Hi > p.Lo {
-			out[i] = (vals[i] - p.Lo) / (p.Hi - p.Lo)
+			dst[i] = (vals[i] - p.Lo) / (p.Hi - p.Lo)
 		}
 	}
-	return out
+	return dst
 }
 
 // Observation is one evaluated configuration.
@@ -72,12 +92,30 @@ type Observation struct {
 	Y float64   // objective value (lower is better)
 }
 
+// Surrogate is the model contract the acquisition loop scores candidates
+// against: batched mean/uncertainty prediction over unit-cube points.
+// *rf.Forest implements it; *rf.ReferenceForest implements it too, for
+// differential benchmarking.
+type Surrogate interface {
+	PredictBatch(X [][]float64, means, stds []float64)
+	Empty() bool
+}
+
+// TrainFunc fits a surrogate to the observation history. The default is the
+// flat random forest (rf.Train); benchmarks swap in the pointer reference to
+// pin end-to-end search equality.
+type TrainFunc func(rng *rand.Rand, X [][]float64, y []float64, opts rf.Options) Surrogate
+
 // Options tunes the optimizer.
 type Options struct {
 	InitSamples int     // LHS warm-up evaluations, default 8
 	Candidates  int     // acquisition candidates per step, default 64
 	Kappa       float64 // exploration weight in LCB, default 1.0
 	Forest      rf.Options
+	// Train overrides the surrogate fit (default rf.Train). Any override
+	// must consume the optimizer rng identically to rf.Train for runs to be
+	// comparable draw for draw.
+	Train TrainFunc
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +128,11 @@ func (o Options) withDefaults() Options {
 	if o.Kappa == 0 {
 		o.Kappa = 1.0
 	}
+	if o.Train == nil {
+		o.Train = func(rng *rand.Rand, X [][]float64, y []float64, opts rf.Options) Surrogate {
+			return rf.Train(rng, X, y, opts)
+		}
+	}
 	return o
 }
 
@@ -101,15 +144,31 @@ type Optimizer struct {
 	obs   []Observation
 	init  [][]float64 // pending LHS initialization points
 
-	forest       *rf.Forest
+	best    Observation // running minimum, maintained by Observe
+	hasBest bool
+
+	forest       Surrogate
 	forestObsLen int // observation count the cached forest was trained on
+
+	// Buffers reused across Suggest calls: the candidate pool (candX rows
+	// alias candFlat), its scores, surrogate training inputs, and the
+	// returned suggestion. Suggest allocates only on pool growth.
+	candFlat   []float64
+	candX      [][]float64
+	means      []float64
+	stds       []float64
+	trainX     [][]float64
+	trainY     []float64
+	suggestBuf []float64
 }
 
 // New creates an optimizer; pass prior observations (e.g. re-evaluated
 // history from earlier runs) to warm-start the surrogate.
 func New(space Space, rng *rand.Rand, opts Options, warmStart []Observation) *Optimizer {
 	o := &Optimizer{space: space, rng: rng, opts: opts.withDefaults()}
-	o.obs = append(o.obs, warmStart...)
+	for _, ob := range warmStart {
+		o.Observe(ob.X, ob.Y)
+	}
 	n := o.opts.InitSamples - len(warmStart)
 	if n > 0 {
 		o.init = stats.LatinHypercube(rng, n, len(space))
@@ -117,9 +176,15 @@ func New(space Space, rng *rand.Rand, opts Options, warmStart []Observation) *Op
 	return o
 }
 
-// Observe records an evaluation result.
+// Observe records an evaluation result and folds it into the running best,
+// keeping Best O(1) however many candidates consult it.
 func (o *Optimizer) Observe(x []float64, y float64) {
-	o.obs = append(o.obs, Observation{X: append([]float64(nil), x...), Y: y})
+	ob := Observation{X: append([]float64(nil), x...), Y: y}
+	o.obs = append(o.obs, ob)
+	if !o.hasBest || y < o.best.Y {
+		o.best = ob
+		o.hasBest = true
+	}
 }
 
 // TakeInit hands the caller the pending LHS initialization design and clears
@@ -141,81 +206,88 @@ func (o *Optimizer) TakeInit() [][]float64 {
 func (o *Optimizer) Observations() []Observation { return o.obs }
 
 // Best returns the observation with minimal objective, or ok=false when
-// nothing has been observed.
+// nothing has been observed. O(1): the minimum is maintained incrementally
+// by Observe (first-observed wins ties, matching a linear scan with <).
 func (o *Optimizer) Best() (Observation, bool) {
-	if len(o.obs) == 0 {
-		return Observation{}, false
-	}
-	best := o.obs[0]
-	for _, ob := range o.obs[1:] {
-		if ob.Y < best.Y {
-			best = ob
-		}
-	}
-	return best, true
+	return o.best, o.hasBest
 }
 
 // Suggest proposes the next unit-cube point: pending LHS initialization
-// first, then surrogate-guided acquisition.
+// first, then surrogate-guided acquisition — the full candidate pool is
+// generated into reused buffers and scored in a single PredictBatch sweep.
+// The returned slice is valid until the next Suggest call; Observe copies,
+// so the Run loop never aliases stale suggestions.
 func (o *Optimizer) Suggest() []float64 {
 	if len(o.init) > 0 {
 		x := o.init[0]
 		o.init = o.init[1:]
 		return x
 	}
+	dims := len(o.space)
+	if cap(o.suggestBuf) < dims {
+		o.suggestBuf = make([]float64, dims)
+	}
+	o.suggestBuf = o.suggestBuf[:dims]
 	if len(o.obs) < 2 {
-		return o.randomPoint()
+		o.randomPointInto(o.suggestBuf)
+		return o.suggestBuf
 	}
 	// Retrain the surrogate only after a few new observations; refitting on
 	// every suggestion dominates runtime without improving the search.
 	if o.forest == nil || len(o.obs)-o.forestObsLen >= 4 {
-		X := make([][]float64, len(o.obs))
-		y := make([]float64, len(o.obs))
-		for i, ob := range o.obs {
-			X[i] = ob.X
-			y[i] = ob.Y
+		o.trainX = o.trainX[:0]
+		o.trainY = o.trainY[:0]
+		for _, ob := range o.obs {
+			o.trainX = append(o.trainX, ob.X)
+			o.trainY = append(o.trainY, ob.Y)
 		}
-		o.forest = rf.Train(o.rng, X, y, o.opts.Forest)
+		o.forest = o.opts.Train(o.rng, o.trainX, o.trainY, o.opts.Forest)
 		o.forestObsLen = len(o.obs)
 	}
-	forest := o.forest
-	bestScore := 0.0
-	var bestX []float64
-	for c := 0; c < o.opts.Candidates; c++ {
-		var cand []float64
+	nc := o.opts.Candidates
+	if cap(o.candFlat) < nc*dims {
+		o.candFlat = make([]float64, nc*dims)
+		o.candX = make([][]float64, nc)
+		o.means = make([]float64, nc)
+		o.stds = make([]float64, nc)
+	}
+	for c := 0; c < nc; c++ {
+		cand := o.candFlat[c*dims : (c+1)*dims]
 		if c%2 == 0 {
-			cand = o.randomPoint()
+			o.randomPointInto(cand)
 		} else {
-			cand = o.mutateBest()
+			o.mutateBestInto(cand)
 		}
-		mean, std := forest.Predict(cand)
-		score := mean - o.opts.Kappa*std // lower confidence bound
-		if bestX == nil || score < bestScore {
+		o.candX[c] = cand
+	}
+	o.forest.PredictBatch(o.candX[:nc], o.means[:nc], o.stds[:nc])
+	bestIdx, bestScore := -1, 0.0
+	for c := 0; c < nc; c++ {
+		score := o.means[c] - o.opts.Kappa*o.stds[c] // lower confidence bound
+		if bestIdx < 0 || score < bestScore {
 			bestScore = score
-			bestX = cand
+			bestIdx = c
 		}
 	}
-	return bestX
+	copy(o.suggestBuf, o.candX[bestIdx])
+	return o.suggestBuf
 }
 
-func (o *Optimizer) randomPoint() []float64 {
-	x := make([]float64, len(o.space))
+func (o *Optimizer) randomPointInto(x []float64) {
 	for i := range x {
 		x[i] = o.rng.Float64()
 	}
-	return x
 }
 
-// mutateBest perturbs one of the best observations (local search component
-// of the acquisition candidate pool).
-func (o *Optimizer) mutateBest() []float64 {
+// mutateBestInto perturbs one of the best observations (local search
+// component of the acquisition candidate pool) into the caller's buffer.
+func (o *Optimizer) mutateBestInto(x []float64) {
 	// Pick among the top few observations.
 	best, _ := o.Best()
 	base := best.X
 	if len(o.obs) > 4 && o.rng.Intn(3) == 0 {
 		base = o.obs[o.rng.Intn(len(o.obs))].X
 	}
-	x := make([]float64, len(base))
 	for i, v := range base {
 		v += o.rng.NormFloat64() * 0.1
 		if v < 0 {
@@ -226,7 +298,6 @@ func (o *Optimizer) mutateBest() []float64 {
 		}
 		x[i] = v
 	}
-	return x
 }
 
 // Run drives the full minimize loop for budget evaluations, stopping early

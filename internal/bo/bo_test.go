@@ -139,6 +139,90 @@ func TestWarmStartSkipsInit(t *testing.T) {
 	}
 }
 
+// TestBestMatchesLinearScan pins the incremental running best against the
+// O(obs) linear scan it replaced, across increasing, decreasing, and tie-heavy
+// observation sequences (ties must keep the first-observed winner, matching a
+// strict-< scan).
+func TestBestMatchesLinearScan(t *testing.T) {
+	space := Space{{Name: "x", Lo: 0, Hi: 1}}
+	sequences := map[string][]float64{
+		"increasing": {1, 2, 3, 4, 5},
+		"decreasing": {5, 4, 3, 2, 1},
+		"ties":       {3, 1, 1, 2, 1, 0.5, 0.5},
+		"random":     nil,
+	}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 50; i++ {
+		sequences["random"] = append(sequences["random"], rng.NormFloat64())
+	}
+	for name, ys := range sequences {
+		opt := New(space, rand.New(rand.NewSource(1)), Options{}, nil)
+		for i, y := range ys {
+			opt.Observe([]float64{float64(i)}, y)
+
+			scanIdx := -1
+			for j, ob := range opt.Observations() {
+				if scanIdx < 0 || ob.Y < opt.Observations()[scanIdx].Y {
+					scanIdx = j
+				}
+			}
+			want := opt.Observations()[scanIdx]
+			got, ok := opt.Best()
+			if !ok {
+				t.Fatalf("%s step %d: Best reported no observations", name, i)
+			}
+			if got.Y != want.Y || got.X[0] != want.X[0] {
+				t.Fatalf("%s step %d: incremental best (x=%v y=%v) != scan (x=%v y=%v)",
+					name, i, got.X[0], got.Y, want.X[0], want.Y)
+			}
+		}
+	}
+	opt := New(space, rand.New(rand.NewSource(1)), Options{}, nil)
+	if _, ok := opt.Best(); ok {
+		t.Fatal("Best must report ok=false before any observation")
+	}
+}
+
+// TestSuggestAllocationFree pins the buffer-reuse satellite: once the
+// candidate pool and surrogate are warm, a Suggest call must not allocate in
+// the acquisition loop (candidate generation, batch scoring, argmin).
+func TestSuggestAllocationFree(t *testing.T) {
+	space := Space{{Name: "x", Lo: 0, Hi: 1}, {Name: "y", Lo: 0, Hi: 1}, {Name: "z", Lo: 0, Hi: 1}}
+	rng := rand.New(rand.NewSource(23))
+	opt := New(space, rng, Options{InitSamples: 4}, nil)
+	opt.Run(12, func(v []float64) (float64, bool) {
+		return (v[0]-0.4)*(v[0]-0.4) + v[1]*v[2], true
+	}, nil)
+	// Warm up once so the pool buffers exist and the surrogate is current
+	// (no Observe between measured calls, so no retrain mid-measurement).
+	opt.Suggest()
+	allocs := testing.AllocsPerRun(20, func() { opt.Suggest() })
+	if allocs > 2 {
+		t.Fatalf("Suggest allocates %.1f objects/call, want <= 2", allocs)
+	}
+}
+
+// TestIntoVariantsMatchAllocating pins DenormalizeInto/NormalizeInto against
+// their allocating wrappers, including reuse of an oversized buffer.
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	s := testSpace()
+	x := []float64{0.37, 0.81}
+	buf := make([]float64, 8)
+	got := s.DenormalizeInto(buf, x)
+	want := s.Denormalize(x)
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("DenormalizeInto %v != Denormalize %v", got, want)
+	}
+	back := s.NormalizeInto(buf, want)
+	wantBack := s.Normalize(want)
+	if back[0] != wantBack[0] || back[1] != wantBack[1] {
+		t.Fatalf("NormalizeInto %v != Normalize %v", back, wantBack)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { s.DenormalizeInto(buf, x) }); allocs != 0 {
+		t.Fatalf("DenormalizeInto allocates %.1f objects/call, want 0", allocs)
+	}
+}
+
 func TestRunStopsEarly(t *testing.T) {
 	space := Space{{Name: "x", Lo: 0, Hi: 1}}
 	rng := rand.New(rand.NewSource(1))

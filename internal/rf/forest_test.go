@@ -3,6 +3,8 @@ package rf
 import (
 	"math"
 	"math/rand"
+	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -113,4 +115,137 @@ func TestConstantTargetIsPure(t *testing.T) {
 	if mean != 5 || std != 0 {
 		t.Fatalf("constant target: mean=%v std=%v", mean, std)
 	}
+}
+
+// TestSplitScoreClampsNegativeVariance pins the clamp on floating-point-
+// negative child variances: Σy²/n - mean² can land a few ulps below zero on
+// near-constant sides, and the weighted score must never go negative.
+func TestSplitScoreClampsNegativeVariance(t *testing.T) {
+	// A constant-y left side whose sum-of-squares cancellation goes negative:
+	// y = 0.1 repeated; 3*(0.01)/3 - (0.3/3)² = -1.7e-18 in float64.
+	v := 0.1
+	ls, lss := 3*v, 3*v*v
+	if raw := lss/3 - (ls/3)*(ls/3); raw >= 0 {
+		t.Fatalf("fixture did not produce a negative raw variance: %g", raw)
+	}
+	if s := splitScore(ls, lss, 3, 50, 2500, 1); s < 0 {
+		t.Fatalf("splitScore = %g, want clamped >= 0", s)
+	}
+	// End to end: a constant-y plateau plus one outlier must train to finite,
+	// non-negative uncertainty everywhere.
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 40; i++ {
+		X = append(X, []float64{float64(i)})
+		y = append(y, v)
+	}
+	X = append(X, []float64{40.5})
+	y = append(y, 50)
+	f := Train(rand.New(rand.NewSource(9)), X, y, Options{MinLeafSize: 1})
+	for _, probe := range []float64{0, 10.5, 39, 41} {
+		mean, std := f.Predict([]float64{probe})
+		if math.IsNaN(mean) || math.IsNaN(std) || std < 0 {
+			t.Fatalf("probe %v: mean=%v std=%v", probe, mean, std)
+		}
+	}
+}
+
+// TestTrainByteIdenticalAcrossWorkers pins the deterministic-parallel-fit
+// contract: identical rng state must yield identical forest bytes at worker
+// counts 1, 2, and 8, because every shared draw happens before the fan-out.
+func TestTrainByteIdenticalAcrossWorkers(t *testing.T) {
+	build := func(workers int) *Forest {
+		rng := rand.New(rand.NewSource(11))
+		var X [][]float64
+		var y []float64
+		for i := 0; i < 250; i++ {
+			x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+			X = append(X, x)
+			y = append(y, x[0]*x[1]+math.Sin(x[2]))
+		}
+		return Train(rng, X, y, Options{NumTrees: 16, Workers: workers})
+	}
+	base := build(1)
+	for _, w := range []int{2, 8} {
+		got := build(w)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("Workers=%d forest differs from Workers=1", w)
+		}
+	}
+}
+
+// TestPredictBatchMatchesPredict pins batched traversal against the
+// point-at-a-time path bit for bit, including the empty-forest prior.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 300; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		X = append(X, x)
+		y = append(y, 2*x[0]-x[1]*x[1])
+	}
+	f := Train(rng, X, y, Options{})
+	probes := make([][]float64, 64)
+	for i := range probes {
+		probes[i] = []float64{rng.Float64() * 1.5, rng.Float64() * 1.5}
+	}
+	means := make([]float64, len(probes))
+	stds := make([]float64, len(probes))
+	f.PredictBatch(probes, means, stds)
+	for i, x := range probes {
+		m, s := f.Predict(x)
+		if means[i] != m || stds[i] != s {
+			t.Fatalf("probe %d: batch (%v,%v) != point (%v,%v)", i, means[i], stds[i], m, s)
+		}
+	}
+	empty := &Forest{}
+	empty.PredictBatch(probes[:2], means, stds)
+	if means[0] != 0 || stds[0] != 1 || means[1] != 0 || stds[1] != 1 {
+		t.Fatalf("empty-forest batch prior = (%v,%v),(%v,%v), want (0,1)", means[0], stds[0], means[1], stds[1])
+	}
+}
+
+// TestConcurrentTrainAndPredictBatch is the -race hammer: 8 goroutines mix
+// fresh Train calls with PredictBatch on a shared trained forest and shared
+// (X, y) inputs. Forests are read-only after Train and training state is
+// builder-private, so nothing here may race.
+func TestConcurrentTrainAndPredictBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		X = append(X, x)
+		y = append(y, x[0]+2*x[1]*x[2])
+	}
+	shared := Train(rand.New(rand.NewSource(18)), X, y, Options{NumTrees: 8, Workers: 4})
+	want := make([]float64, len(X))
+	wantStd := make([]float64, len(X))
+	shared.PredictBatch(X, want, wantStd)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			means := make([]float64, len(X))
+			stds := make([]float64, len(X))
+			for round := 0; round < 10; round++ {
+				if (g+round)%2 == 0 {
+					f := Train(rand.New(rand.NewSource(18)), X, y, Options{NumTrees: 8, Workers: 1 + g%3})
+					f.PredictBatch(X, means, stds)
+				} else {
+					shared.PredictBatch(X, means, stds)
+				}
+				for i := range means {
+					if means[i] != want[i] || stds[i] != wantStd[i] {
+						t.Errorf("goroutine %d round %d: prediction %d diverged", g, round, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -29,6 +29,7 @@ import (
 	"sqlbarber/internal/obs"
 	"sqlbarber/internal/prand"
 	"sqlbarber/internal/profiler"
+	"sqlbarber/internal/rf"
 	"sqlbarber/internal/sqltypes"
 	"sqlbarber/internal/stats"
 	"sqlbarber/internal/workload"
@@ -503,7 +504,11 @@ func (s *Searcher) optimizeTemplate(ctx context.Context, rng *rand.Rand, t *work
 		evaluateWave(units, nil)
 		return res
 	}
-	opt := bo.New(boSpace, rng, bo.Options{InitSamples: 4}, warm)
+	// Workers: 1 keeps tree fitting serial inside each BO slot — the search
+	// waves already parallelize across templates, so nesting forest workers
+	// would oversubscribe without speedup; candidate scoring still goes
+	// through the batched PredictBatch path inside Suggest.
+	opt := bo.New(boSpace, rng, bo.Options{InitSamples: 4, Forest: rf.Options{Workers: 1}}, warm)
 	// The LHS initialization design is rng-neutral to evaluate as a batch:
 	// it was drawn inside bo.New, and evaluation consumes no optimizer
 	// randomness, so batching the init wave then running the remaining

@@ -73,6 +73,18 @@
 #                              Refreshes BENCH_resilience.json. Retried like
 #                              the other smokes for consistency (its gates
 #                              are deterministic)
+#  10. cmd/benchmarks -exp surrogate
+#                            — the surrogate-engine smoke: fits and probes the
+#                              flat random-forest engine against the naive
+#                              pointer reference on a fixed synthetic corpus
+#                              at 1/2/8 goroutines, failing on any per-tree
+#                              prediction divergence, batched-vs-point
+#                              prediction mismatch, BO search-hash divergence
+#                              between the two engines, or if the flat engine
+#                              falls below 2x fit / 3x batched-predict speed
+#                              at 8 goroutines. Refreshes BENCH_surrogate.json.
+#                              Timing-sensitive, so it gets the same 3-attempt
+#                              fresh-process retry
 #
 # Run it from anywhere; it changes to the repo root first. Any failure stops
 # the chain with a non-zero exit.
@@ -158,6 +170,20 @@ for attempt in 1 2 3; do
 done
 if [ "${resilience_ok}" -ne 1 ]; then
   echo "resilience smoke failed 3 consecutive attempts — treating as a real regression" >&2
+  exit 1
+fi
+
+echo "== cmd/benchmarks -exp surrogate (surrogate-engine smoke) =="
+surrogate_ok=0
+for attempt in 1 2 3; do
+  if go run ./cmd/benchmarks -exp surrogate -surrogatejson BENCH_surrogate.json; then
+    surrogate_ok=1
+    break
+  fi
+  echo "surrogate smoke attempt ${attempt} failed; retrying in a fresh process" >&2
+done
+if [ "${surrogate_ok}" -ne 1 ]; then
+  echo "surrogate smoke failed 3 consecutive attempts — treating as a real regression" >&2
   exit 1
 fi
 
