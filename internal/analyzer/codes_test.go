@@ -1,0 +1,199 @@
+package analyzer_test
+
+import (
+	"strings"
+	"testing"
+
+	"sqlbarber/internal/analyzer"
+	"sqlbarber/internal/spec"
+	"sqlbarber/internal/sqlparser"
+)
+
+// codeCase drives one diagnostic through all three payload dimensions: the
+// code itself, the span (as the exact fragment of the *canonical* SQL it
+// covers — spans are recovered by locating the expression's rendering inside
+// stmt.SQL(), so they must be checked against the canonical text, not the
+// input), and the machine-readable repair hint fed to the LLM Fix* prompts.
+type codeCase struct {
+	name string
+	sql  string
+	spec *spec.Spec
+	code analyzer.Code
+	sev  analyzer.Severity
+	// wantFrag is the exact canonical-SQL substring the span must cover;
+	// "" asserts the span is deliberately empty (the pass has no single
+	// offending expression to point at).
+	wantFrag string
+	// wantFix is a required substring of the repair hint; "" asserts the
+	// hint is deliberately absent (info-level observations carry none).
+	wantFix string
+}
+
+func runCodeCases(t *testing.T, cases []codeCase) {
+	t.Helper()
+	a := analyzer.New(testSchema())
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := a.AnalyzeSQL(tc.sql, tc.spec)
+			canon := tc.sql
+			if stmt, err := sqlparser.Parse(tc.sql); err == nil {
+				canon = stmt.SQL()
+			}
+			var found *analyzer.Diagnostic
+			for i := range rep.Diagnostics {
+				if rep.Diagnostics[i].Code == tc.code {
+					found = &rep.Diagnostics[i]
+					break
+				}
+			}
+			if found == nil {
+				t.Fatalf("code %s not produced; got %v", tc.code, rep.Diagnostics)
+			}
+			if found.Severity != tc.sev {
+				t.Errorf("severity = %s, want %s", found.Severity, tc.sev)
+			}
+			if tc.wantFrag == "" {
+				if found.Span != (analyzer.Span{}) {
+					t.Errorf("span = %+v, want empty", found.Span)
+				}
+			} else {
+				if found.Span.Start >= found.Span.End || found.Span.End > len(canon) {
+					t.Fatalf("span %+v does not locate inside canonical SQL %q", found.Span, canon)
+				}
+				if got := canon[found.Span.Start:found.Span.End]; got != tc.wantFrag {
+					t.Errorf("span covers %q, want %q (canonical %q)", got, tc.wantFrag, canon)
+				}
+			}
+			if tc.wantFix == "" {
+				if found.Fix != "" {
+					t.Errorf("fix = %q, want none", found.Fix)
+				}
+			} else if !strings.Contains(found.Fix, tc.wantFix) {
+				t.Errorf("fix = %q, want it to mention %q", found.Fix, tc.wantFix)
+			}
+			if found.Msg == "" {
+				t.Errorf("diagnostic %s has no message", tc.code)
+			}
+		})
+	}
+}
+
+// TestParseDiagnostics: the X family — unparseable templates yield exactly
+// X001 with a rewrite hint and no span (there is no AST to locate in).
+func TestParseDiagnostics(t *testing.T) {
+	runCodeCases(t, []codeCase{
+		{"garbled keywords", "SELEC name FORM users", nil,
+			analyzer.CodeParseError, analyzer.Error, "", "well-formed SELECT"},
+		{"unterminated string", "SELECT name FROM users WHERE name = 'x", nil,
+			analyzer.CodeParseError, analyzer.Error, "", "well-formed SELECT"},
+	})
+}
+
+// TestBinderDiagnostics: the B family — name resolution. Column-level codes
+// carry spans pointing at the offending reference; table-level codes point
+// at nothing (tables are not expressions) but still carry targeted hints.
+func TestBinderDiagnostics(t *testing.T) {
+	runCodeCases(t, []codeCase{
+		{"unknown table", "SELECT name FROM userz", nil,
+			analyzer.CodeUnknownTable, analyzer.Error, "", "use one of the schema tables: users, orders"},
+		{"unknown column suggests nearest", "SELECT u.nam FROM users u", nil,
+			analyzer.CodeUnknownColumn, analyzer.Error, "u.nam", "did you mean u.name?"},
+		{"ambiguous column", "SELECT id FROM users u JOIN orders o ON o.user_id = u.id", nil,
+			analyzer.CodeAmbiguousColumn, analyzer.Error, "id", `qualify "id" with its table alias`},
+		{"duplicate table", "SELECT u.id FROM users u JOIN users u ON u.id = u.id", nil,
+			analyzer.CodeDuplicateTable, analyzer.Error, "", "distinct alias"},
+		{"missing FROM", "SELECT 1", nil,
+			analyzer.CodeMissingFrom, analyzer.Error, "", "add a FROM clause"},
+	})
+}
+
+// TestTypeDiagnostics: the T family — operand kind mismatches, spanned to
+// the mismatched comparison or aggregate call.
+func TestTypeDiagnostics(t *testing.T) {
+	runCodeCases(t, []codeCase{
+		{"int column vs string literal", "SELECT name FROM users WHERE age = 'abc'", nil,
+			analyzer.CodeComparisonTypeMismatch, analyzer.Error, "age = 'abc'", "value of its own type"},
+		{"SUM over string column", "SELECT SUM(name) FROM users", nil,
+			analyzer.CodeAggregateArgType, analyzer.Error, "SUM(name)", "COUNT/MIN/MAX for strings"},
+	})
+}
+
+// TestAggregateDiagnostics: the A family — GROUP BY conformance and
+// aggregate placement.
+func TestAggregateDiagnostics(t *testing.T) {
+	runCodeCases(t, []codeCase{
+		{"ungrouped column", "SELECT city, name FROM users GROUP BY city", nil,
+			analyzer.CodeUngroupedColumn, analyzer.Warning, "name", "add it to GROUP BY"},
+		{"aggregate in WHERE", "SELECT name FROM users WHERE SUM(age) > 10", nil,
+			analyzer.CodeAggregateInWhere, analyzer.Error, "SUM(age) > 10", "HAVING clause"},
+		{"nested aggregate", "SELECT SUM(AVG(age)) FROM users", nil,
+			analyzer.CodeNestedAggregate, analyzer.Error, "SUM(AVG(age))", "subquery"},
+		{"HAVING without GROUP BY", "SELECT name FROM users HAVING age > 10", nil,
+			analyzer.CodeHavingWithoutGroup, analyzer.Error, "age > 10", "add a GROUP BY clause"},
+		{"aggregate in GROUP BY", "SELECT city FROM users GROUP BY COUNT(*)", nil,
+			analyzer.CodeAggregateInGroupBy, analyzer.Error, "COUNT(*)", "underlying column"},
+	})
+}
+
+// TestJoinDiagnostics: the J family — cartesian products and degenerate ON
+// conditions, spanned to the ON expression.
+func TestJoinDiagnostics(t *testing.T) {
+	runCodeCases(t, []codeCase{
+		{"self-referential ON", "SELECT u.name FROM users u JOIN orders o ON o.id = o.user_id", nil,
+			analyzer.CodeCartesianJoin, analyzer.Warning, "o.id = o.user_id", "column of an earlier table"},
+		{"constant ON", "SELECT u.name FROM users u JOIN orders o ON 1 = 1", nil,
+			analyzer.CodeDegenerateJoin, analyzer.Warning, "1 = 1", "foreign-key column pair"},
+	})
+}
+
+// TestPredicateDiagnostics: the P family — contradictions and constant
+// conditions. P003 is an info-level observation and deliberately carries no
+// repair hint: a constant predicate is legal, just pointless.
+func TestPredicateDiagnostics(t *testing.T) {
+	runCodeCases(t, []codeCase{
+		{"always-false comparison", "SELECT name FROM users WHERE 1 = 2", nil,
+			analyzer.CodeAlwaysFalse, analyzer.Warning, "1 = 2", "remove the contradiction"},
+		{"empty BETWEEN range", "SELECT name FROM users WHERE age BETWEEN 9 AND 3", nil,
+			analyzer.CodeAlwaysFalse, analyzer.Warning, "age BETWEEN 9 AND 3", "swap the BETWEEN bounds"},
+		{"range contradiction", "SELECT name FROM users WHERE age > 9 AND age < 3", nil,
+			analyzer.CodeContradiction, analyzer.Warning, "", "conflicting predicates"},
+		{"constant predicate", "SELECT name FROM users WHERE 1 = 1", nil,
+			analyzer.CodeConstantPredic, analyzer.Info, "1 = 1", ""},
+	})
+}
+
+// TestPlaceholderDiagnostics: the H family — sargability and bindability of
+// {p_i} markers. The hints name the placeholder so the Fix* prompt can
+// target it.
+func TestPlaceholderDiagnostics(t *testing.T) {
+	runCodeCases(t, []codeCase{
+		{"unsargable arithmetic", "SELECT name FROM users WHERE age + 1 = {p1}", nil,
+			analyzer.CodeUnsargable, analyzer.Error, "", "<table>.<column> <op> {p1}"},
+		{"marker outside predicate", "SELECT {p1} FROM users", nil,
+			analyzer.CodeMisplacedMarker, analyzer.Error, "", "move {p1} into a comparison"},
+	})
+}
+
+// TestSpecDiagnostics: the S family — Figure 8a specification conformance.
+// Every violation's hint states the delta needed (how many more tables,
+// joins, aggregates, ...), which is what makes the FixSemantics round cheap.
+func TestSpecDiagnostics(t *testing.T) {
+	sp := func(s spec.Spec) *spec.Spec { return &s }
+	base := "SELECT name FROM users WHERE age > {p1}"
+	runCodeCases(t, []codeCase{
+		{"table count", base, sp(spec.Spec{NumTables: spec.Int(2)}),
+			analyzer.CodeSpecTables, analyzer.Error, "", "join 1 more table(s)"},
+		{"join count", base, sp(spec.Spec{NumJoins: spec.Int(1)}),
+			analyzer.CodeSpecJoins, analyzer.Error, "", "add 1 JOIN clause(s)"},
+		{"aggregation count", base, sp(spec.Spec{NumAggregations: spec.Int(1)}),
+			analyzer.CodeSpecAggregations, analyzer.Error, "", "aggregate"},
+		{"predicate count", base, sp(spec.Spec{NumPredicates: spec.Int(2)}),
+			analyzer.CodeSpecPredicates, analyzer.Error, "", "predicate"},
+		{"nested query", base, sp(spec.Spec{NestedQuery: spec.Bool(true)}),
+			analyzer.CodeSpecNestedQuery, analyzer.Error, "", "subquer"},
+		{"group by", base, sp(spec.Spec{GroupBy: spec.Bool(true)}),
+			analyzer.CodeSpecGroupBy, analyzer.Error, "", "GROUP BY"},
+		{"complex scalar", base, sp(spec.Spec{ComplexScalar: spec.Bool(true)}),
+			analyzer.CodeSpecComplexScalar, analyzer.Error, "", "arithmetic expression"},
+	})
+}

@@ -113,6 +113,19 @@ const (
 	// Latency middleware. Wall-clock-valued, hence volatile: excluded from
 	// stable snapshots via Collector.MarkVolatileHistogram.
 	HLLMLatencyMS = "llm_call_latency_ms"
+
+	// Job-service tier (internal/server). Submitted/completed/cancelled/
+	// failed/rejected are exact request accounting, adopted by reference from
+	// the job manager's own counters. Active is a point-in-time occupancy
+	// reading and the queue-wait histogram is wall-clock-valued; both depend
+	// on scheduling, so they bind volatile.
+	MServerJobsSubmitted = "server_jobs_submitted"
+	MServerJobsActive    = "server_jobs_active"
+	MServerJobsCompleted = "server_jobs_completed"
+	MServerJobsCancelled = "server_jobs_cancelled"
+	MServerJobsFailed    = "server_jobs_failed"
+	MServerJobsRejected  = "server_jobs_rejected"
+	HServerQueueWaitMS   = "server_queue_wait_ms"
 )
 
 // Attr is one key/value annotation on a span or event.

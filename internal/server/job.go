@@ -1,0 +1,266 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle position. Transitions are monotonic:
+// queued → running → {done, cancelled, failed}, with the shortcut
+// queued → cancelled for jobs cancelled before a worker picks them up.
+type State string
+
+// Job states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateCancelled State = "cancelled"
+	StateFailed    State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateCancelled || s == StateFailed
+}
+
+// jobEvent is one SSE record: an event name plus a pre-marshaled JSON
+// payload. Events are retained for the job's lifetime so a late subscriber
+// replays the full history before tailing live events.
+type jobEvent struct {
+	Name string
+	Data []byte
+}
+
+// JobStatus is the wire form of a job, returned by the status endpoints and
+// carried on the terminal SSE event.
+type JobStatus struct {
+	ID             string  `json:"id"`
+	State          string  `json:"state"`
+	Partial        bool    `json:"partial,omitempty"`
+	CancelledStage string  `json:"cancelled_stage,omitempty"`
+	Error          string  `json:"error,omitempty"`
+	Queries        int     `json:"queries,omitempty"`
+	Templates      int     `json:"templates,omitempty"`
+	Distance       float64 `json:"distance,omitempty"`
+	DBCalls        int64   `json:"db_calls,omitempty"`
+	ElapsedMS      int64   `json:"elapsed_ms,omitempty"`
+	QueueWaitMS    int64   `json:"queue_wait_ms,omitempty"`
+	ResultURL      string  `json:"result_url,omitempty"`
+}
+
+// jobSummary is the result payload a finished run hands to the job.
+type jobSummary struct {
+	queries        int
+	templates      int
+	distance       float64
+	dbCalls        int64
+	elapsedMS      int64
+	partial        bool
+	cancelledStage string
+}
+
+// Job is one accepted workload-generation request and its run state. All
+// mutable fields are guarded by mu; submittedAt and Req are immutable after
+// construction.
+type Job struct {
+	ID          string
+	Req         JobRequest
+	submittedAt time.Time
+
+	mu              sync.Mutex
+	state           State
+	err             string
+	artifact        string
+	contentType     string
+	queueWaitMS     int64
+	summary         jobSummary
+	cancelRequested bool
+	cancelRun       context.CancelFunc
+
+	events []jobEvent
+	subs   map[chan jobEvent]struct{}
+	done   chan struct{}
+}
+
+func newJob(id string, req JobRequest, now time.Time) *Job {
+	j := &Job{
+		ID:          id,
+		Req:         req,
+		submittedAt: now,
+		state:       StateQueued,
+		subs:        make(map[chan jobEvent]struct{}),
+		done:        make(chan struct{}),
+	}
+	j.publishLocked("state", map[string]string{"state": string(StateQueued)})
+	return j
+}
+
+// State returns the current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Snapshot returns the job's wire status.
+func (j *Job) Snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+func (j *Job) snapshotLocked() JobStatus {
+	st := JobStatus{
+		ID:             j.ID,
+		State:          string(j.state),
+		Partial:        j.summary.partial,
+		CancelledStage: j.summary.cancelledStage,
+		Error:          j.err,
+		Queries:        j.summary.queries,
+		Templates:      j.summary.templates,
+		Distance:       j.summary.distance,
+		DBCalls:        j.summary.dbCalls,
+		ElapsedMS:      j.summary.elapsedMS,
+		QueueWaitMS:    j.queueWaitMS,
+	}
+	if j.artifact != "" {
+		st.ResultURL = "/api/v1/jobs/" + j.ID + "/result"
+	}
+	return st
+}
+
+// artifactInfo returns the artifact name and content type once written.
+func (j *Job) artifactInfo() (name, contentType string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.artifact, j.contentType
+}
+
+// setRunning transitions queued → running, recording the worker's cancel
+// function and the measured queue wait. It returns false when the job was
+// cancelled while queued (the cancel path already finalized it), in which
+// case the worker must skip the run.
+func (j *Job) setRunning(cancel context.CancelFunc, queueWaitMS int64) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.cancelRun = cancel
+	j.queueWaitMS = queueWaitMS
+	j.publishLocked("state", map[string]string{"state": string(StateRunning)})
+	return true
+}
+
+// requestCancel asks the job to stop. A queued job is finalized as cancelled
+// immediately (wasQueued true, so the caller accounts it); a running job has
+// its context cancelled and is finalized by the worker when the pipeline
+// returns its partial result; a terminal job is left untouched.
+func (j *Job) requestCancel() (wasQueued bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() || j.cancelRequested {
+		return false
+	}
+	j.cancelRequested = true
+	if j.state == StateQueued {
+		j.finalizeLocked(StateCancelled)
+		return true
+	}
+	if j.cancelRun != nil {
+		j.cancelRun()
+	}
+	return false
+}
+
+// setArtifact records the written artifact before the terminal transition.
+func (j *Job) setArtifact(name, contentType string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.artifact = name
+	j.contentType = contentType
+}
+
+// finishDone finalizes a successful run.
+func (j *Job) finishDone(s jobSummary) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.summary = s
+	j.finalizeLocked(StateDone)
+}
+
+// finishCancelled finalizes a run that observed cancellation; the summary
+// describes the partial workload that was still assembled and stored.
+func (j *Job) finishCancelled(s jobSummary) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.summary = s
+	j.finalizeLocked(StateCancelled)
+}
+
+// finishFailed finalizes a run that errored.
+func (j *Job) finishFailed(errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.err = errMsg
+	j.finalizeLocked(StateFailed)
+}
+
+// finalizeLocked performs the terminal transition: it publishes the final
+// status as a "done" event and closes the done channel. Idempotent.
+func (j *Job) finalizeLocked(s State) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = s
+	j.publishLocked("done", j.snapshotLocked())
+	close(j.done)
+}
+
+// publish appends an event to the job's history and fans it out to live
+// subscribers. A slow subscriber whose buffer is full drops the event rather
+// than stalling the worker; the terminal "done" event is never lost because
+// the SSE handler re-reads it from history on exit.
+func (j *Job) publish(name string, payload any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.publishLocked(name, payload)
+}
+
+func (j *Job) publishLocked(name string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		data = []byte(`{}`)
+	}
+	ev := jobEvent{Name: name, Data: data}
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe registers a live event channel and returns the history so far.
+// Registration and history snapshot happen under one lock acquisition, so an
+// event is delivered exactly once: either in replay or on the channel.
+func (j *Job) subscribe() (replay []jobEvent, ch chan jobEvent, unsub func()) {
+	ch = make(chan jobEvent, 64)
+	j.mu.Lock()
+	replay = append(replay, j.events...)
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return replay, ch, func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+}

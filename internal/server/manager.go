@@ -1,0 +1,206 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sqlbarber/internal/obs"
+)
+
+// Admission errors. Handlers map ErrQueueFull to 429 (with Retry-After,
+// mirroring the client-side convention of the LLM resilience middleware) and
+// ErrDraining to 503.
+var (
+	ErrQueueFull  = errors.New("server: job queue full")
+	ErrDraining   = errors.New("server: draining; not accepting jobs")
+	ErrJobUnknown = errors.New("server: unknown job")
+)
+
+// manager owns the job table and the bounded worker pool. Jobs queue on a
+// fixed-depth channel; workers pull and run them via the runner callback.
+// The obs.Counter fields are adopted by reference into the server Collector
+// (obs.Binder), so the manager's own accounting and the exported metrics are
+// the same objects and can never drift.
+type manager struct {
+	runner func(ctx context.Context, j *Job)
+	clock  func() time.Time
+	sink   obs.Sink
+	queue  chan *Job
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	draining bool
+	nextID   int64
+
+	submitted obs.Counter
+	active    obs.Counter
+	completed obs.Counter
+	cancelled obs.Counter
+	failed    obs.Counter
+	rejected  obs.Counter
+}
+
+// newManager builds the manager and starts workers goroutines that live
+// until Drain closes the queue. ctx is the pool's root context: every job
+// runs under a child of it, so cancelling ctx aborts in-flight jobs (their
+// partial results are still checkpointed by the runner).
+func newManager(ctx context.Context, workers, depth int, clock func() time.Time, sink obs.Sink, runner func(context.Context, *Job)) *manager {
+	m := &manager{
+		runner: runner,
+		clock:  clock,
+		sink:   sink,
+		queue:  make(chan *Job, depth),
+		jobs:   make(map[string]*Job),
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for j := range m.queue {
+				m.runOne(ctx, j)
+			}
+		}()
+	}
+	return m
+}
+
+// Submit validates admission and enqueues the job. The draining check, the
+// queue send, and the job-table insert all happen under one lock acquisition
+// so Submit can never race Drain's close of the queue channel.
+func (m *manager) Submit(req JobRequest) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		m.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	j := newJob(fmt.Sprintf("job-%06d", m.nextID+1), req, m.clock())
+	select {
+	case m.queue <- j:
+	default:
+		m.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	m.nextID++
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.submitted.Add(1)
+	return j, nil
+}
+
+// Get returns the job by ID, or nil.
+func (m *manager) Get(id string) *Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
+}
+
+// Jobs returns all jobs in submission order.
+func (m *manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Cancel requests cancellation of the named job. Queued jobs are finalized
+// here (and counted); running jobs are finalized by their worker when the
+// pipeline hands back its partial result.
+func (m *manager) Cancel(id string) (*Job, error) {
+	j := m.Get(id)
+	if j == nil {
+		return nil, fmt.Errorf("%w: %q", ErrJobUnknown, id)
+	}
+	if wasQueued := j.requestCancel(); wasQueued {
+		m.cancelled.Add(1)
+	}
+	return j, nil
+}
+
+// Draining reports whether Drain has begun.
+func (m *manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// runOne executes a single job on a worker. The queue-wait histogram and the
+// active gauge-like counter are scheduling-valued, hence bound volatile.
+func (m *manager) runOne(ctx context.Context, j *Job) {
+	wait := m.clock().Sub(j.submittedAt).Milliseconds()
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if !j.setRunning(cancel, wait) {
+		return // cancelled while queued; already finalized and counted
+	}
+	m.sink.Observe(obs.HServerQueueWaitMS, float64(wait))
+	m.active.Add(1)
+	defer m.active.Add(-1)
+	m.runner(jctx, j)
+	switch j.State() {
+	case StateDone:
+		m.completed.Add(1)
+	case StateCancelled:
+		m.cancelled.Add(1)
+	case StateFailed:
+		m.failed.Add(1)
+	default:
+		// The runner must finalize every job it is handed; a non-terminal
+		// state here is a runner bug. Fail the job so no client hangs on it.
+		j.finishFailed("internal: runner returned without finalizing the job")
+		m.failed.Add(1)
+	}
+}
+
+// Drain stops admission, lets queued and in-flight jobs finish, and returns
+// once every worker has exited. If ctx expires first, the remaining jobs are
+// cancelled — running ones checkpoint their partial results through the
+// normal cancellation path — and Drain still waits for the workers to hand
+// them back before returning ctx's error. Safe to call more than once.
+func (m *manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	already := m.draining
+	m.draining = true
+	m.mu.Unlock()
+	if !already {
+		close(m.queue)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.wg.Wait()
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		for _, j := range m.Jobs() {
+			if wasQueued := j.requestCancel(); wasQueued {
+				m.cancelled.Add(1)
+			}
+		}
+		<-done
+		return ctx.Err()
+	}
+}
+
+// bindCounters adopts the manager's counters into b by reference. Submitted,
+// completed, cancelled, failed, and rejected are exact request accounting;
+// active is point-in-time pool occupancy, which depends on scheduling, so it
+// binds volatile.
+func (m *manager) bindCounters(b obs.Binder) {
+	b.BindCounter(obs.MServerJobsSubmitted, &m.submitted, false)
+	b.BindCounter(obs.MServerJobsActive, &m.active, true)
+	b.BindCounter(obs.MServerJobsCompleted, &m.completed, false)
+	b.BindCounter(obs.MServerJobsCancelled, &m.cancelled, false)
+	b.BindCounter(obs.MServerJobsFailed, &m.failed, false)
+	b.BindCounter(obs.MServerJobsRejected, &m.rejected, false)
+}

@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ErrBadArtifactName rejects names that could escape the store directory or
+// collide with the writer's temp files.
+var ErrBadArtifactName = errors.New("storage: bad artifact name")
+
+// ErrArtifactNotFound reports a missing artifact on read.
+var ErrArtifactNotFound = errors.New("storage: artifact not found")
+
+// ArtifactStore is a flat on-disk store for completed (or partial) workload
+// artifacts produced by the job service. Writes use the same atomic
+// temp+rename idiom as PromptCache.Put, so readers — concurrent HTTP
+// downloads, a restarted daemon scanning the directory — only ever see
+// complete files: an artifact either exists in full or not at all.
+type ArtifactStore struct{ dir string }
+
+// OpenArtifactStore creates dir if needed and returns a store rooted there.
+func OpenArtifactStore(dir string) (*ArtifactStore, error) {
+	if dir == "" {
+		return nil, errors.New("storage: artifact store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: artifact store: %w", err)
+	}
+	return &ArtifactStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *ArtifactStore) Dir() string { return s.dir }
+
+// validArtifactName accepts flat file names only: no separators, no parent
+// references, no hidden/temp prefixes.
+func validArtifactName(name string) bool {
+	if name == "" || len(name) > 255 {
+		return false
+	}
+	if strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		return false
+	}
+	if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "put-") {
+		return false
+	}
+	return true
+}
+
+func (s *ArtifactStore) path(name string) string { return filepath.Join(s.dir, name) }
+
+// Put streams write's output into the named artifact atomically: the bytes
+// land in a temp file in the same directory and are renamed into place only
+// after write returns and the file is durably closed. A failed write leaves
+// no artifact (and removes the temp file), so a partially written artifact
+// can never be observed under its final name.
+func (s *ArtifactStore) Put(name string, write func(io.Writer) error) error {
+	if !validArtifactName(name) {
+		return fmt.Errorf("%w: %q", ErrBadArtifactName, name)
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("storage: artifact put: %w", err)
+	}
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("storage: artifact put %q: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("storage: artifact put %q: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(name)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("storage: artifact put %q: %w", name, err)
+	}
+	return nil
+}
+
+// Get returns the named artifact's bytes, or ErrArtifactNotFound.
+func (s *ArtifactStore) Get(name string) ([]byte, error) {
+	if !validArtifactName(name) {
+		return nil, fmt.Errorf("%w: %q", ErrBadArtifactName, name)
+	}
+	data, err := os.ReadFile(s.path(name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrArtifactNotFound, name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: artifact get %q: %w", name, err)
+	}
+	return data, nil
+}
+
+// Open returns a reader over the named artifact, or ErrArtifactNotFound.
+// The caller closes it.
+func (s *ArtifactStore) Open(name string) (io.ReadCloser, error) {
+	if !validArtifactName(name) {
+		return nil, fmt.Errorf("%w: %q", ErrBadArtifactName, name)
+	}
+	f, err := os.Open(s.path(name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrArtifactNotFound, name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: artifact open %q: %w", name, err)
+	}
+	return f, nil
+}
+
+// List returns the stored artifact names, sorted. In-flight temp files are
+// invisible: only renamed (complete) artifacts are listed.
+func (s *ArtifactStore) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: artifact list: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !validArtifactName(e.Name()) {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}

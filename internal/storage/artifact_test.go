@@ -1,0 +1,136 @@
+package storage
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestArtifactStoreRoundTrip(t *testing.T) {
+	s, err := OpenArtifactStore(filepath.Join(t.TempDir(), "artifacts"))
+	if err != nil {
+		t.Fatalf("OpenArtifactStore: %v", err)
+	}
+	want := "-- template=1 cost=42\nSELECT 1;\n"
+	if err := s.Put("job-1.sql", func(w io.Writer) error {
+		_, err := io.WriteString(w, want)
+		return err
+	}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get("job-1.sql")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got) != want {
+		t.Fatalf("Get = %q, want %q", got, want)
+	}
+	r, err := s.Open("job-1.sql")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	data, err := io.ReadAll(r)
+	r.Close()
+	if err != nil || string(data) != want {
+		t.Fatalf("Open read = %q, %v; want %q", data, err, want)
+	}
+}
+
+func TestArtifactStorePutOverwritesAtomically(t *testing.T) {
+	s, err := OpenArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenArtifactStore: %v", err)
+	}
+	for _, body := range []string{"first\n", "second\n"} {
+		if err := s.Put("a.sql", func(w io.Writer) error {
+			_, err := io.WriteString(w, body)
+			return err
+		}); err != nil {
+			t.Fatalf("Put %q: %v", body, err)
+		}
+	}
+	got, err := s.Get("a.sql")
+	if err != nil || string(got) != "second\n" {
+		t.Fatalf("Get = %q, %v; want \"second\\n\"", got, err)
+	}
+}
+
+func TestArtifactStoreFailedWriteLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenArtifactStore(dir)
+	if err != nil {
+		t.Fatalf("OpenArtifactStore: %v", err)
+	}
+	boom := errors.New("writer failed")
+	if err := s.Put("broken.sql", func(w io.Writer) error {
+		io.WriteString(w, "half a file")
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("Put error = %v, want wrapped %v", err, boom)
+	}
+	if _, err := s.Get("broken.sql"); !errors.Is(err, ErrArtifactNotFound) {
+		t.Fatalf("Get after failed Put = %v, want ErrArtifactNotFound", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file %q left behind after failed Put", e.Name())
+		}
+	}
+}
+
+func TestArtifactStoreRejectsBadNames(t *testing.T) {
+	s, err := OpenArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenArtifactStore: %v", err)
+	}
+	for _, name := range []string{
+		"", "../escape.sql", "a/b.sql", `a\b.sql`, ".hidden", "put-123.tmp",
+		"x..y", strings.Repeat("n", 256),
+	} {
+		if err := s.Put(name, func(io.Writer) error { return nil }); !errors.Is(err, ErrBadArtifactName) {
+			t.Errorf("Put(%q) = %v, want ErrBadArtifactName", name, err)
+		}
+		if _, err := s.Get(name); !errors.Is(err, ErrBadArtifactName) {
+			t.Errorf("Get(%q) = %v, want ErrBadArtifactName", name, err)
+		}
+	}
+}
+
+func TestArtifactStoreList(t *testing.T) {
+	s, err := OpenArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenArtifactStore: %v", err)
+	}
+	for _, name := range []string{"b.json", "a.sql", "c.sql"} {
+		if err := s.Put(name, func(w io.Writer) error {
+			_, err := io.WriteString(w, name)
+			return err
+		}); err != nil {
+			t.Fatalf("Put %q: %v", name, err)
+		}
+	}
+	// A stray temp file must stay invisible.
+	if err := os.WriteFile(filepath.Join(s.Dir(), "put-zzz.tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatalf("writing stray temp: %v", err)
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	want := []string{"a.sql", "b.json", "c.sql"}
+	if len(names) != len(want) {
+		t.Fatalf("List = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("List = %v, want %v", names, want)
+		}
+	}
+}

@@ -15,7 +15,21 @@
 #                              changes goroutine interleavings enough to shake
 #                              out scheduling-dependent results the default
 #                              pass can miss
-#   5. cmd/benchmarks -exp obs
+#   5. go test -fuzz (sqlparser smoke)
+#                            — 10-second native-fuzzing smokes over the two
+#                              sqlparser fuzz targets: FuzzParse checks the
+#                              render ∘ parse round-trip fixpoint on arbitrary
+#                              input, FuzzPlaceholderRewrite checks that
+#                              placeholder substitution never corrupts
+#                              adversarial neighbouring string literals. At
+#                              ~25k execs/sec per target this explores ~250k
+#                              mutated inputs per run beyond the seed corpus
+#   6. scripts/covergate.sh  — per-package statement-coverage floors over
+#                              internal/, from scripts/coverage_baseline.txt.
+#                              Floors sit ~5 points below measured coverage,
+#                              so routine churn passes but deleting tests or
+#                              landing a large untested surface fails
+#   7. cmd/benchmarks -exp obs
 #                            — the observability overhead smoke: runs the
 #                              pipeline with and without a live collector,
 #                              fails if the workloads differ byte-for-byte or
@@ -27,7 +41,7 @@
 #                              can still skew one process, so the step retries
 #                              in a fresh process up to 3 times; a real
 #                              regression fails all attempts
-#   6. cmd/benchmarks -exp probe
+#   8. cmd/benchmarks -exp probe
 #                            — the compiled-probing smoke: costs the same
 #                              deterministic probe schedule through compiled
 #                              parametric plans and through the re-plan
@@ -37,7 +51,7 @@
 #                              beat re-planning. Refreshes BENCH_probe.json.
 #                              Timing-sensitive like the obs smoke, so it
 #                              gets the same 3-attempt fresh-process retry
-#   7. cmd/benchmarks -exp measured
+#   9. cmd/benchmarks -exp measured
 #                            — the measured-probe smoke: executes the same
 #                              deterministic probe schedule through per-session
 #                              value-environment execution and through the
@@ -49,7 +63,7 @@
 #                              at 8 goroutines. Refreshes BENCH_measured.json.
 #                              Timing-sensitive, so it gets the same 3-attempt
 #                              fresh-process retry
-#   8. cmd/benchmarks -exp intervals
+#  10. cmd/benchmarks -exp intervals
 #                            — the static cost-interval smoke: runs the
 #                              pipeline with the intervals stage on and off
 #                              against a low-band plan-cost target, failing
@@ -61,7 +75,7 @@
 #                              BENCH_intervals.json. Retried like the other
 #                              smokes for consistency (its gates are all
 #                              deterministic, so retries should never differ)
-#   9. cmd/benchmarks -exp resilience
+#  11. cmd/benchmarks -exp resilience
 #                            — the oracle-resilience smoke: runs the pipeline
 #                              through the retry/fault-injection middleware
 #                              chain with a deterministic 20% fault schedule,
@@ -73,7 +87,7 @@
 #                              Refreshes BENCH_resilience.json. Retried like
 #                              the other smokes for consistency (its gates
 #                              are deterministic)
-#  10. cmd/benchmarks -exp surrogate
+#  12. cmd/benchmarks -exp surrogate
 #                            — the surrogate-engine smoke: fits and probes the
 #                              flat random-forest engine against the naive
 #                              pointer reference on a fixed synthetic corpus
@@ -102,6 +116,13 @@ go test -race -shuffle=on ./...
 
 echo "== GOMAXPROCS=2 go test -race ./... =="
 GOMAXPROCS=2 go test -race ./...
+
+echo "== go test -fuzz (sqlparser fuzz smoke, 10s per target) =="
+go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/sqlparser
+go test -run '^$' -fuzz '^FuzzPlaceholderRewrite$' -fuzztime 10s ./internal/sqlparser
+
+echo "== scripts/covergate.sh (per-package coverage floors) =="
+./scripts/covergate.sh
 
 echo "== cmd/benchmarks -exp obs (observability overhead smoke) =="
 obs_ok=0

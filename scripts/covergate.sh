@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# covergate.sh enforces per-package statement-coverage floors over
+# internal/. The floors live in scripts/coverage_baseline.txt as
+# "<import-path> <min-percent>" rows; this script runs the suite with
+# coverage (-short: the floors guard unit coverage, not the slow integration
+# paths), parses the "coverage: X.Y% of statements" column, and fails if any
+# package with a recorded floor comes in below it.
+#
+# Packages that appear in the run but not in the baseline only warn — a new
+# package should get a floor with its first substantial test file, but its
+# absence must not block unrelated work. Packages in the baseline that no
+# longer exist also warn, so stale rows are visible without being fatal.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="scripts/coverage_baseline.txt"
+if [ ! -f "${baseline}" ]; then
+  echo "covergate: missing ${baseline}" >&2
+  exit 1
+fi
+
+report="$(mktemp)"
+trap 'rm -f "${report}"' EXIT
+go test -short -count=1 -cover ./internal/... | tee "${report}"
+
+awk -v baseline="${baseline}" '
+  BEGIN {
+    while ((getline line < baseline) > 0) {
+      if (line ~ /^[[:space:]]*(#|$)/) continue
+      split(line, f, /[[:space:]]+/)
+      floor[f[1]] = f[2] + 0
+    }
+    close(baseline)
+  }
+  $1 == "ok" && $NF == "statements" {
+    pkg = $2
+    for (i = 1; i <= NF; i++)
+      if ($i == "coverage:") { pct = $(i + 1); sub(/%$/, "", pct) }
+    got[pkg] = pct + 0
+    if (!(pkg in floor)) {
+      printf "covergate: WARN %s has no coverage floor (measured %.1f%%)\n", pkg, got[pkg]
+      next
+    }
+    if (got[pkg] < floor[pkg]) {
+      printf "covergate: FAIL %s coverage %.1f%% is below floor %d%%\n", pkg, got[pkg], floor[pkg]
+      failed = 1
+    }
+  }
+  END {
+    for (pkg in floor)
+      if (!(pkg in got))
+        printf "covergate: WARN baseline names %s but the run produced no coverage for it\n", pkg
+    if (failed) exit 1
+    print "covergate: all floors hold"
+  }
+' "${report}"
